@@ -1,0 +1,61 @@
+"""Ablation: does Step II (DAG augmentation) earn its keep?
+
+DESIGN.md calls out augmentation as the mechanism that enlarges the
+search space beyond ECMP.  This ablation optimizes COYOTE's splitting
+within the plain shortest-path DAGs and within the augmented DAGs on the
+same instance and compares worst-case ratios — both normalized by the
+*same* (augmented-DAG) optimum so the numbers are comparable.
+"""
+
+from conftest import run_once
+
+from repro.config import ExperimentConfig
+from repro.core.dag_builder import build_dags
+from repro.core.evaluate import project_ecmp_into_dags
+from repro.core.robust import optimize_robust_splitting
+from repro.demands.gravity import gravity_matrix
+from repro.demands.uncertainty import margin_box
+from repro.ecmp.routing import ecmp_routing
+from repro.ecmp.weights import inverse_capacity_weights
+from repro.lp.worst_case import WorstCaseOracle
+from repro.topologies.zoo import load_topology
+from repro.utils.tables import Table
+
+
+def augmentation_ablation(config: ExperimentConfig, topology: str = "abilene") -> Table:
+    network = load_topology(topology)
+    base = gravity_matrix(network)
+    uncertainty = margin_box(base, 2.0)
+    weights = inverse_capacity_weights(network)
+    ecmp = ecmp_routing(network, weights)
+    table = Table(
+        f"Ablation — DAG augmentation ({topology}, margin 2)",
+        ["dags", "splittable nodes", "COYOTE ratio"],
+    )
+    augmented = build_dags(network, weights, augment=True)
+    oracle = WorstCaseOracle(network, uncertainty, dags=augmented, config=config.solver)
+    for label, dags in (("shortest-path", build_dags(network, weights, augment=False)),
+                        ("augmented", augmented)):
+        projection = project_ecmp_into_dags(ecmp, dags)
+        result = optimize_robust_splitting(
+            network,
+            dags,
+            uncertainty,
+            config=config.solver,
+            initial_matrices=[base],
+            extra_starts=[projection.ratios],
+            fallbacks=[projection],
+        )
+        ratio = oracle.evaluate(result.routing).ratio
+        splittable = sum(len(d.splittable_nodes()) for d in dags.values())
+        table.add_row(label, splittable, ratio)
+    return table
+
+
+def test_augmentation_helps(benchmark, experiment_config):
+    table = run_once(benchmark, augmentation_ablation, experiment_config)
+    plain, augmented = table.rows
+    assert augmented[1] > plain[1]  # more freedom
+    assert augmented[2] <= plain[2] + 1e-6  # never worse
+    print()
+    print(table)

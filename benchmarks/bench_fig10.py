@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 10 — approximating ideal splits with k virtual NHs.
+
+Shape assertions: the rounded configurations interpolate between ECMP
+and the ideal ratios, and more virtual links never hurt (up to solver
+noise).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_approximation import fig10
+
+
+def test_fig10_virtual_next_hops(benchmark, experiment_config):
+    table = run_once(benchmark, fig10, experiment_config)
+    for margin, ecmp, ideal, nh3, nh5, nh10 in table.rows:
+        assert ideal <= min(nh3, nh5, nh10) + 0.05
+        assert nh10 <= nh3 + 0.15  # bigger budget tracks the ideal closer
+        assert nh10 <= ecmp + 0.10  # 10 NHs is at least ECMP-grade
+    print()
+    print(table)

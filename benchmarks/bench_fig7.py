@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 7 — Digex, gravity model, margin sweep."""
+
+from conftest import run_once
+
+from repro.experiments.margin_sweep import fig7
+
+
+def test_fig7_digex_gravity(benchmark, experiment_config):
+    table = run_once(benchmark, fig7, experiment_config)
+    for margin, ecmp, base, obl, pk in table.rows:
+        assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"
+    # Base degrades under uncertainty: strictly worse at the widest
+    # margin than with none (the paper's central observation).
+    assert table.rows[-1][2] > table.rows[0][2]
+    print()
+    print(table)

@@ -1,0 +1,23 @@
+"""Benchmark: the negative results (Theorem 1 gadget, Theorem 4 instance)."""
+
+from conftest import run_once
+
+from repro.experiments.hardness import theorem1_table, theorem4_table
+
+
+def test_theorem1_gadget(benchmark, experiment_config):
+    table = run_once(benchmark, theorem1_table, experiment_config)
+    ratios = table.column("ratio")
+    assert abs(ratios[0] - 4.0 / 3.0) < 1e-6  # balanced partition
+    assert ratios[1] > 4.0 / 3.0  # unbalanced partition
+    print()
+    print(table)
+
+
+def test_theorem4_separation(benchmark, experiment_config):
+    table = run_once(benchmark, theorem4_table, experiment_config)
+    for n, optimum, ratio, _bound in table.rows:
+        assert abs(optimum - 1.0) < 1e-6
+        assert abs(ratio - n) < 1e-6 * n
+    print()
+    print(table)

@@ -1,0 +1,20 @@
+"""Benchmark: Table I — the full margin sweep (reduced grid by default).
+
+Set ``REPRO_FULL=1`` for the paper-scale 14-topology, 9-margin table
+(hours of runtime, as the paper's own 'few minutes to few days' warns).
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import table1_experiment
+
+
+def test_table1(benchmark, experiment_config):
+    table = run_once(benchmark, table1_experiment, experiment_config)
+    assert len(table) >= 6  # topologies x margins
+    for _network, margin, ecmp, base, obl, pk in table.rows:
+        assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"
+        if abs(margin - 1.0) < 1e-9:
+            assert abs(base - 1.0) < 1e-6  # Base optimal with no uncertainty
+    print()
+    print(table)

@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+experiment registry.  The heavy drivers run with ``pedantic`` settings
+(one round, one iteration): the quantity of interest is the experiment's
+output, not micro-timing stability, and a robust-optimization sweep is
+far too expensive to repeat.
+
+``REPRO_FULL=1`` switches the drivers to paper-scale grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The grid benchmarks run with (reduced unless REPRO_FULL=1)."""
+    return ExperimentConfig.from_environment()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy experiment with a single measured round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

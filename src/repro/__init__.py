@@ -1,0 +1,54 @@
+"""COYOTE: readily deployable robust traffic engineering via OSPF "lies".
+
+A from-scratch reproduction of *Lying Your Way to Better Traffic
+Engineering* (Chiesa, Rétvári, Schapira — CoNEXT 2016): destination-based
+demands-oblivious routing compiled down to unmodified OSPF/ECMP through
+Fibbing-style fake LSAs.
+
+Public API highlights:
+
+* :class:`repro.Network`, :class:`repro.Dag` — the network model;
+* :func:`repro.load_topology` — the 16 evaluation backbones;
+* :func:`repro.gravity_matrix` / :func:`repro.bimodal_matrix` /
+  :func:`repro.margin_box` — demand models and uncertainty sets;
+* :class:`repro.Coyote` — the end-to-end pipeline (DAGs + robust
+  splitting);
+* :func:`repro.ecmp_routing` — the traditional TE baseline;
+* :mod:`repro.fibbing` — translation to OSPF fake-LSA configuration;
+* :mod:`repro.experiments` — drivers regenerating every paper table and
+  figure.
+"""
+
+from repro.config import DEFAULT_CONFIG, ExperimentConfig, SolverConfig
+from repro.core.coyote import Coyote, CoyoteResult
+from repro.demands.bimodal import bimodal_matrix
+from repro.demands.gravity import gravity_matrix
+from repro.demands.matrix import DemandMatrix
+from repro.demands.uncertainty import margin_box, oblivious_set
+from repro.ecmp.routing import ecmp_routing
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.routing.splitting import Routing
+from repro.topologies.zoo import available_topologies, load_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "SolverConfig",
+    "Coyote",
+    "CoyoteResult",
+    "DemandMatrix",
+    "gravity_matrix",
+    "bimodal_matrix",
+    "margin_box",
+    "oblivious_set",
+    "ecmp_routing",
+    "Dag",
+    "Network",
+    "Routing",
+    "available_topologies",
+    "load_topology",
+]

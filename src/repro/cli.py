@@ -1,0 +1,96 @@
+"""Command-line interface: run experiments, inspect topologies.
+
+Examples:
+    repro list
+    repro run running-example
+    repro run fig6 --full
+    repro run table1 --csv /tmp/table1.csv
+    repro topo geant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import ExperimentConfig
+from repro.exceptions import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.topologies.zoo import available_topologies, load_topology, topology_info
+from repro.utils.tables import format_csv, format_markdown
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.id:<{width}}  {experiment.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.paper() if args.full else ExperimentConfig.from_environment()
+    started = time.time()
+    table = run_experiment(args.experiment, config)
+    elapsed = time.time() - started
+    print(format_markdown(table))
+    print(f"(completed in {elapsed:.1f}s)")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(format_csv(table))
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    if args.name is None:
+        for name in available_topologies():
+            spec = topology_info(name)
+            print(f"{name:<14} {spec.kind:<10} {spec.nodes:>3} nodes "
+                  f"{spec.links:>3} links  [{spec.paper_label}]")
+        return 0
+    spec = topology_info(args.name)
+    network = load_topology(args.name)
+    print(f"name:        {spec.name}")
+    print(f"paper label: {spec.paper_label}")
+    print(f"kind:        {spec.kind}")
+    print(f"nodes:       {network.num_nodes}")
+    print(f"links:       {network.num_edges // 2} undirected "
+          f"({network.num_edges} directed)")
+    print(f"note:        {spec.note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COYOTE (CoNEXT 2016) reproduction: experiments and topologies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), metavar="EXPERIMENT")
+    run.add_argument("--full", action="store_true", help="use the paper-scale grid")
+    run.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    run.set_defaults(func=_cmd_run)
+
+    topo = sub.add_parser("topo", help="list topologies or show one")
+    topo.add_argument("name", nargs="?", help="topology name (omit to list all)")
+    topo.set_defaults(func=_cmd_topo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,202 @@
+"""Differentiable flow propagation through per-destination DAGs.
+
+Both splitting optimizers need, for a candidate set of ratios ``phi`` and
+a finite batch of demand matrices:
+
+* the per-edge loads (a posynomial function of ``phi`` — sums over DAG
+  paths of products of ratios, with nonnegative demand coefficients);
+* gradients of load functionals with respect to the ratios.
+
+Loads are computed by one topological sweep per destination, vectorized
+over the demand-matrix batch (each node carries a length-K arrival
+vector).  Gradients come in two flavours:
+
+* *reverse mode* (:meth:`FlowGraph.backward`) — the adjoint sweep for a
+  single scalar functional ``sum_{e,k} psi_{e,k} * load_{e,k}``; used by
+  the smoothed-minimax optimizer where ``psi`` holds softmax weights;
+* *forward mode* (:meth:`FlowGraph.load_jacobian`) — full Jacobian of
+  every edge load with respect to every log-ratio; used by the GP
+  optimizer whose SLSQP subproblem needs per-constraint gradients.
+
+The adjoint recursion: with ``F(v)`` the arrival vector at ``v`` and
+``lam(v) = dS/dF(v)``, walking the DAG in reverse topological order,
+
+    lam(root) = 0
+    lam(u)    = sum_v phi(u, v) * (psi(u, v) + lam(v))
+    dS/dphi(u, v) = sum_k F_k(u) * (psi_k(u, v) + lam_k(v)).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.demands.matrix import DemandMatrix
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+
+
+class FlowGraph:
+    """Pre-compiled propagation structure for one destination DAG."""
+
+    def __init__(self, dag: Dag, matrices: Sequence[DemandMatrix]):
+        self.dag = dag
+        self.root = dag.root
+        self.batch = len(matrices)
+        self.order: list[Node] = dag.topological_order()
+        self.reverse_order: list[Node] = list(reversed(self.order))
+        # Demand injected at each node, as a K-vector per node.
+        self.inject: dict[Node, np.ndarray] = {}
+        for k, dm in enumerate(matrices):
+            for source, volume in dm.demands_to(self.root).items():
+                if source not in self.inject:
+                    self.inject[source] = np.zeros(self.batch)
+                self.inject[source][k] += volume
+        self.out_edges: dict[Node, list[Edge]] = {
+            node: [(node, head) for head in dag.out_neighbors(node)]
+            for node in self.order
+            if node != self.root
+        }
+
+    # -- primal -----------------------------------------------------------
+
+    def forward(
+        self, phi: Mapping[Edge, float]
+    ) -> tuple[dict[Node, np.ndarray], dict[Edge, np.ndarray]]:
+        """Arrival vectors per node and load vectors per DAG edge."""
+        zeros = np.zeros(self.batch)
+        arrivals: dict[Node, np.ndarray] = {}
+        loads: dict[Edge, np.ndarray] = {}
+        for node in self.order:
+            arrived = arrivals.get(node)
+            injected = self.inject.get(node)
+            if arrived is None:
+                arrived = injected.copy() if injected is not None else zeros.copy()
+            elif injected is not None:
+                arrived = arrived + injected
+            arrivals[node] = arrived
+            if node == self.root or not arrived.any():
+                continue
+            for edge in self.out_edges[node]:
+                fraction = phi.get(edge, 0.0)
+                if fraction == 0.0:
+                    continue
+                flow = arrived * fraction
+                loads[edge] = flow
+                head = edge[1]
+                if head in arrivals:
+                    arrivals[head] = arrivals[head] + flow
+                else:
+                    arrivals[head] = flow.copy()
+        return arrivals, loads
+
+    # -- reverse mode -------------------------------------------------------
+
+    def backward(
+        self,
+        phi: Mapping[Edge, float],
+        arrivals: Mapping[Node, np.ndarray],
+        psi: Mapping[Edge, np.ndarray],
+    ) -> dict[Edge, float]:
+        """Gradient of ``sum_{e,k} psi[e][k] * load[e][k]`` w.r.t. ``phi``.
+
+        Only edges present in ``psi`` contribute to the functional; the
+        returned dict covers every DAG edge with a nonzero gradient.
+        """
+        zeros = np.zeros(self.batch)
+        lam: dict[Node, np.ndarray] = {self.root: zeros}
+        grad: dict[Edge, float] = {}
+        for node in self.reverse_order:
+            if node == self.root:
+                continue
+            accumulated = zeros
+            arrived = arrivals.get(node, zeros)
+            for edge in self.out_edges[node]:
+                weight = psi.get(edge)
+                downstream = lam.get(edge[1], zeros)
+                sensitivity = downstream if weight is None else weight + downstream
+                gradient = float(np.dot(arrived, sensitivity))
+                if gradient != 0.0:
+                    grad[edge] = gradient
+                fraction = phi.get(edge, 0.0)
+                if fraction != 0.0:
+                    accumulated = accumulated + fraction * sensitivity
+            lam[node] = accumulated
+        return grad
+
+    # -- forward mode ----------------------------------------------------------
+
+    def load_jacobian(
+        self,
+        phi: Mapping[Edge, float],
+        arrivals: Mapping[Node, np.ndarray],
+        variables: Sequence[Edge],
+    ) -> dict[Edge, dict[Edge, np.ndarray]]:
+        """``d load[e] / d log phi[a]`` for each variable edge ``a``.
+
+        One forward perturbation sweep per variable: perturbing the
+        log-ratio of ``a = (x, y)`` injects ``F(x) * phi(a)`` of extra
+        flow at ``y`` (and on ``a`` itself), which then propagates
+        downstream through the fixed ratios.
+
+        Returns:
+            variable edge -> {DAG edge -> K-vector of load derivatives}.
+        """
+        zeros = np.zeros(self.batch)
+        position = {node: i for i, node in enumerate(self.order)}
+        jacobian: dict[Edge, dict[Edge, np.ndarray]] = {}
+        for var_edge in variables:
+            x, y = var_edge
+            base = arrivals.get(x, zeros) * phi.get(var_edge, 0.0)
+            derivs: dict[Edge, np.ndarray] = {}
+            if base.any():
+                derivs[var_edge] = base.copy()
+                delta: dict[Node, np.ndarray] = {y: base.copy()}
+                for node in self.order[position[y]:]:
+                    change = delta.get(node)
+                    if change is None or node == self.root:
+                        continue
+                    for edge in self.out_edges[node]:
+                        fraction = phi.get(edge, 0.0)
+                        if fraction == 0.0:
+                            continue
+                        flow = change * fraction
+                        derivs[edge] = derivs.get(edge, 0.0) + flow
+                        head = edge[1]
+                        if head in delta:
+                            delta[head] = delta[head] + flow
+                        else:
+                            delta[head] = flow.copy()
+            jacobian[var_edge] = derivs
+        return jacobian
+
+
+def total_loads(
+    flowgraphs: Mapping[Node, FlowGraph],
+    ratios: Mapping[Node, Mapping[Edge, float]],
+) -> dict[Edge, np.ndarray]:
+    """Sum per-destination load vectors into network-edge load vectors."""
+    combined: dict[Edge, np.ndarray] = {}
+    for t, graph in flowgraphs.items():
+        _, loads = graph.forward(ratios.get(t, {}))
+        for edge, vector in loads.items():
+            if edge in combined:
+                combined[edge] = combined[edge] + vector
+            else:
+                combined[edge] = vector.copy()
+    return combined
+
+
+def max_utilization(
+    network: Network, loads: Mapping[Edge, np.ndarray]
+) -> float:
+    """True (unsmoothed) objective: worst utilization over edges and batch."""
+    import math
+
+    worst = 0.0
+    for edge, vector in loads.items():
+        capacity = network.capacity(*edge)
+        if math.isfinite(capacity):
+            worst = max(worst, float(vector.max()) / capacity)
+    return worst

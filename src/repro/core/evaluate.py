@@ -1,0 +1,90 @@
+"""Evaluation helpers shared by the experiment drivers (Section VI).
+
+Every scheme in the paper's evaluation reports the same quantity: the
+worst-case performance ratio over the uncertainty set, normalized by the
+demands-aware optimum within the (augmented) DAGs.  These wrappers build
+the oracle once per (DAGs, uncertainty) pair and evaluate any number of
+routings against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config import DEFAULT_CONFIG, SolverConfig
+from repro.demands.uncertainty import UncertaintySet
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.lp.worst_case import OracleResult, WorstCaseOracle
+from repro.routing.splitting import Routing
+
+
+@dataclass
+class SchemeEvaluation:
+    """One scheme's worst-case result against one uncertainty set."""
+
+    scheme: str
+    ratio: float
+    oracle: OracleResult
+
+
+def performance_ratio(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    routing: Routing,
+    uncertainty: UncertaintySet,
+    config: SolverConfig = DEFAULT_CONFIG,
+) -> OracleResult:
+    """``PERF(routing, uncertainty)`` with within-DAG normalization."""
+    oracle = WorstCaseOracle(network, uncertainty, dags=dags, config=config)
+    return oracle.evaluate(routing)
+
+
+def evaluate_schemes(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    routings: Sequence[Routing],
+    uncertainty: UncertaintySet,
+    config: SolverConfig = DEFAULT_CONFIG,
+) -> list[SchemeEvaluation]:
+    """Evaluate several routings against one oracle (compiled once)."""
+    oracle = WorstCaseOracle(network, uncertainty, dags=dags, config=config)
+    results = []
+    for routing in routings:
+        outcome = oracle.evaluate(routing)
+        results.append(SchemeEvaluation(routing.name, outcome.ratio, outcome))
+    return results
+
+
+def project_ecmp_into_dags(
+    ecmp: Routing,
+    dags: Mapping[Node, Dag],
+    name: str = "ECMP-projected",
+) -> Routing:
+    """Express ECMP's splitting inside the augmented DAGs.
+
+    The augmented DAG contains the shortest-path DAG, so equal splitting
+    over the shortest-path out-edges — and zero on the extra edges — is a
+    feasible point of COYOTE's search space.  Used as a warm start and as
+    the "no worse than ECMP" fallback.
+    """
+    ratios: dict[Node, dict[Edge, float]] = {}
+    for t, dag in dags.items():
+        source = ecmp.dags.get(t)
+        per_dest: dict[Edge, float] = {}
+        for node in dag.nodes():
+            if node == t:
+                continue
+            heads = dag.out_neighbors(node)
+            if not heads:
+                continue
+            sp_heads = (
+                [h for h in heads if source.has_edge(node, h)] if source is not None else []
+            )
+            chosen = sp_heads or heads
+            share = 1.0 / len(chosen)
+            for head in heads:
+                per_dest[(node, head)] = share if head in chosen else 0.0
+        ratios[t] = per_dest
+    return Routing(dags, ratios, name=name)

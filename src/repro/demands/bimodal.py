@@ -1,0 +1,52 @@
+"""The bimodal demand model (Medina et al. [23], used for Figs. 8-9).
+
+"A small fraction of all pairs of routers exchange large quantities of
+traffic, and the other pairs send small flows."  We sample which pairs are
+elephants with a seeded RNG, then draw elephant/mouse volumes from two
+well-separated ranges.
+"""
+
+from __future__ import annotations
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import DemandError
+from repro.graph.network import Network
+from repro.utils.seeding import rng_from_seed
+
+
+def bimodal_matrix(
+    network: Network,
+    seed: int,
+    elephant_fraction: float = 0.2,
+    elephant_volume: float = 1.0,
+    mouse_volume: float = 0.05,
+    jitter: float = 0.25,
+) -> DemandMatrix:
+    """Sample a bimodal matrix over all ordered node pairs.
+
+    Args:
+        network: the topology (only the node set is used).
+        seed: RNG seed; identical seeds reproduce identical matrices.
+        elephant_fraction: probability that a pair is an elephant.
+        elephant_volume: mean volume for elephant pairs.
+        mouse_volume: mean volume for mouse pairs.
+        jitter: relative half-width of the uniform volume perturbation,
+            e.g. 0.25 draws from [0.75 * mean, 1.25 * mean].
+    """
+    if not 0.0 < elephant_fraction < 1.0:
+        raise DemandError(f"elephant_fraction must be in (0, 1), got {elephant_fraction}")
+    if elephant_volume <= mouse_volume:
+        raise DemandError("elephant_volume must exceed mouse_volume for a bimodal model")
+    if not 0.0 <= jitter < 1.0:
+        raise DemandError(f"jitter must be in [0, 1), got {jitter}")
+    rng = rng_from_seed(seed, "bimodal", network.name)
+    demands: dict[tuple, float] = {}
+    nodes = network.nodes()
+    for s in nodes:
+        for t in nodes:
+            if s == t:
+                continue
+            mean = elephant_volume if rng.random() < elephant_fraction else mouse_volume
+            low, high = mean * (1.0 - jitter), mean * (1.0 + jitter)
+            demands[(s, t)] = float(rng.uniform(low, high))
+    return DemandMatrix(demands)

@@ -1,0 +1,39 @@
+"""The gravity demand model (Roughan et al. [22], used for Figs. 6-7, Table I).
+
+"The amount of flow sent from router i to router j is proportional to the
+product of i's and j's total outgoing capacities."  The matrix is then
+scaled so the largest entry equals ``peak`` — absolute scale is irrelevant
+to the performance-ratio metric (Section III notes scale invariance), but
+a sensible peak keeps the LPs well conditioned.
+"""
+
+from __future__ import annotations
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import DemandError
+from repro.graph.network import Network
+
+
+def gravity_matrix(network: Network, peak: float = 1.0) -> DemandMatrix:
+    """Deterministic gravity matrix over all ordered node pairs.
+
+    Args:
+        network: the capacitated topology (outgoing capacity = node mass).
+        peak: value assigned to the largest demand after rescaling.
+    """
+    if peak <= 0:
+        raise DemandError(f"peak must be > 0, got {peak}")
+    nodes = network.nodes()
+    if len(nodes) < 2:
+        raise DemandError("gravity model needs at least two nodes")
+    mass = {node: network.total_capacity_out(node) for node in nodes}
+    raw: dict[tuple, float] = {}
+    for s in nodes:
+        for t in nodes:
+            if s != t:
+                raw[(s, t)] = mass[s] * mass[t]
+    largest = max(raw.values())
+    if largest <= 0:
+        raise DemandError("gravity model degenerate: all node masses are zero")
+    scale = peak / largest
+    return DemandMatrix({pair: value * scale for pair, value in raw.items()})

@@ -1,0 +1,127 @@
+"""Demand matrices (Section III): nonnegative demands between node pairs.
+
+A demand matrix ``D = {d_st}`` assigns the traffic volume sent from each
+source ``s`` to each target ``t``.  Zero entries are not stored; the
+*support* of a matrix is the set of pairs with positive demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import DemandError
+from repro.graph.network import Node
+
+Pair = tuple[Node, Node]
+
+
+class DemandMatrix:
+    """An immutable sparse matrix of inter-node traffic demands."""
+
+    __slots__ = ("_demands",)
+
+    def __init__(self, demands: Mapping[Pair, float]):
+        cleaned: dict[Pair, float] = {}
+        for (s, t), value in demands.items():
+            if s == t:
+                raise DemandError(f"demand from {s!r} to itself is not allowed")
+            if value < 0:
+                raise DemandError(f"negative demand {value} for pair ({s!r}, {t!r})")
+            if value > 0:
+                cleaned[(s, t)] = float(value)
+        self._demands = cleaned
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, source: Node, target: Node) -> float:
+        return self._demands.get((source, target), 0.0)
+
+    def pairs(self) -> list[Pair]:
+        """Support pairs (positive demand), in insertion order."""
+        return list(self._demands)
+
+    def items(self) -> Iterator[tuple[Pair, float]]:
+        return iter(self._demands.items())
+
+    def sources(self) -> set[Node]:
+        return {s for (s, _t) in self._demands}
+
+    def targets(self) -> set[Node]:
+        return {t for (_s, t) in self._demands}
+
+    def total(self) -> float:
+        return sum(self._demands.values())
+
+    def max_entry(self) -> float:
+        return max(self._demands.values(), default=0.0)
+
+    def demands_to(self, target: Node) -> dict[Node, float]:
+        """Source -> demand for one destination (the per-DAG aggregation)."""
+        return {s: d for (s, t), d in self._demands.items() if t == target}
+
+    # -- algebra ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "DemandMatrix":
+        """The matrix with every entry multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise DemandError(f"scaling factor must be >= 0, got {factor}")
+        return DemandMatrix({pair: d * factor for pair, d in self._demands.items()})
+
+    def restricted_to(self, nodes: Iterable[Node]) -> "DemandMatrix":
+        """Drop every pair not fully inside ``nodes``."""
+        keep = set(nodes)
+        return DemandMatrix(
+            {(s, t): d for (s, t), d in self._demands.items() if s in keep and t in keep}
+        )
+
+    def restricted_to_targets(self, targets: Iterable[Node]) -> "DemandMatrix":
+        """Drop every pair whose destination is not in ``targets``."""
+        keep = set(targets)
+        return DemandMatrix(
+            {(s, t): d for (s, t), d in self._demands.items() if t in keep}
+        )
+
+    def blended(self, other: "DemandMatrix", weight: float) -> "DemandMatrix":
+        """Convex combination ``(1 - weight) * self + weight * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise DemandError(f"blend weight must be in [0, 1], got {weight}")
+        pairs = set(self._demands) | set(other._demands)
+        return DemandMatrix(
+            {
+                pair: (1.0 - weight) * self.get(*pair) + weight * other.get(*pair)
+                for pair in pairs
+            }
+        )
+
+    def close_to(self, other: "DemandMatrix", tolerance: float = 1e-9) -> bool:
+        pairs = set(self._demands) | set(other._demands)
+        return all(abs(self.get(*p) - other.get(*p)) <= tolerance for p in pairs)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def single(cls, source: Node, target: Node, volume: float) -> "DemandMatrix":
+        return cls({(source, target): volume})
+
+    @classmethod
+    def uniform(cls, nodes: Iterable[Node], volume: float) -> "DemandMatrix":
+        """All ordered pairs carry the same demand (a handy stress test)."""
+        nodes = list(nodes)
+        return cls({(s, t): volume for s in nodes for t in nodes if s != t})
+
+    # -- dunder -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def __bool__(self) -> bool:
+        return bool(self._demands)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DemandMatrix) and self._demands == other._demands
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._demands.items()))
+
+    def __repr__(self) -> str:
+        return f"DemandMatrix(pairs={len(self._demands)}, total={self.total():.3f})"

@@ -1,0 +1,140 @@
+"""Demand uncertainty sets (Section III and VI).
+
+The paper's evaluation parameterizes uncertainty by a *margin* ``x``: with
+base demand ``d_st``, the actual demand may be anything in
+``[d_st / x, d_st * x]``.  Because the performance ratio is invariant to
+rescaling, the relevant set is the *cone* spanned by the box:
+``{ D : exists lambda > 0 with lambda * lo_st <= d_st <= lambda * hi_st }``.
+The fully *oblivious* set (margin = infinity, no base matrix needed) is the
+nonnegative orthant over a pair support.
+
+:class:`UncertaintySet` carries exactly what the slave LP needs: the pair
+support, per-pair (lo, hi) bounds, and whether a scaling variable lambda
+is required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.demands.matrix import DemandMatrix, Pair
+from repro.exceptions import DemandError
+from repro.graph.network import Node
+
+
+@dataclass(frozen=True)
+class UncertaintySet:
+    """A cone of demand matrices defined by per-pair interval bounds.
+
+    Attributes:
+        pairs: ordered support (pairs allowed to carry demand).
+        bounds: pair -> (lo, hi); ``hi = math.inf`` means unbounded above.
+        oblivious: True when the set is the whole nonnegative orthant, in
+            which case no lambda scaling variable is needed in the LPs.
+        label: human-readable description for experiment output.
+    """
+
+    pairs: tuple[Pair, ...]
+    bounds: dict[Pair, tuple[float, float]]
+    oblivious: bool
+    label: str
+
+    def __post_init__(self) -> None:
+        for pair in self.pairs:
+            lo, hi = self.bounds[pair]
+            if lo < 0 or hi < lo:
+                raise DemandError(f"bad bounds {self.bounds[pair]} for pair {pair!r}")
+
+    def contains_direction(self, matrix: DemandMatrix, tolerance: float = 1e-7) -> bool:
+        """True when some positive scaling of ``matrix`` satisfies the bounds.
+
+        Checks cone membership: we search for a feasible lambda such that
+        ``lambda * lo <= d <= lambda * hi`` for every support pair.
+        """
+        if self.oblivious:
+            return all(pair in set(self.pairs) for pair in matrix.pairs())
+        lam_low, lam_high = 0.0, math.inf
+        for pair in self.pairs:
+            d = matrix.get(*pair)
+            lo, hi = self.bounds[pair]
+            if d == 0.0:
+                if lo > 0:
+                    # Any positive lambda would force d >= lambda * lo > 0.
+                    lam_high = 0.0
+                continue
+            if hi < math.inf:
+                lam_low = max(lam_low, d / hi if hi > 0 else math.inf)
+            if lo > 0:
+                lam_high = min(lam_high, d / lo)
+        extra = set(matrix.pairs()) - set(self.pairs)
+        if extra:
+            return False
+        return lam_low <= lam_high * (1.0 + tolerance) and lam_high > 0
+
+
+def margin_box(base: DemandMatrix, margin: float, label: str | None = None) -> UncertaintySet:
+    """The paper's margin-``x`` uncertainty set around a base matrix.
+
+    ``margin = 1`` collapses to the ray through the base matrix (no
+    uncertainty); larger margins widen each entry to
+    ``[d_st / margin, d_st * margin]``.
+    """
+    if margin < 1.0:
+        raise DemandError(f"margin must be >= 1, got {margin}")
+    if not base:
+        raise DemandError("margin_box needs a base matrix with positive entries")
+    pairs = tuple(base.pairs())
+    bounds = {
+        pair: (base.get(*pair) / margin, base.get(*pair) * margin) for pair in pairs
+    }
+    return UncertaintySet(
+        pairs=pairs,
+        bounds=bounds,
+        oblivious=False,
+        label=label or f"margin={margin:g}",
+    )
+
+
+def oblivious_set(nodes: Iterable[Node], label: str = "oblivious") -> UncertaintySet:
+    """All demand matrices over the ordered pairs of ``nodes`` (margin = inf)."""
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise DemandError("oblivious_set needs at least two nodes")
+    pairs = tuple((s, t) for s in nodes for t in nodes if s != t)
+    return oblivious_pairs(pairs, label=label)
+
+
+def oblivious_pairs(pairs: Iterable[Pair], label: str = "oblivious") -> UncertaintySet:
+    """All demand matrices supported on an explicit pair list.
+
+    Used when only some nodes are traffic sources (the running example's
+    two users, the hardness gadgets' s1/s2).
+    """
+    pairs = tuple(pairs)
+    if not pairs:
+        raise DemandError("oblivious_pairs needs at least one pair")
+    bounds = {pair: (0.0, math.inf) for pair in pairs}
+    return UncertaintySet(pairs=pairs, bounds=bounds, oblivious=True, label=label)
+
+
+def single_matrix_set(base: DemandMatrix, label: str | None = None) -> UncertaintySet:
+    """The degenerate set containing (all scalings of) one matrix."""
+    return margin_box(base, 1.0, label=label or "exact")
+
+
+def representative_matrix(uncertainty: UncertaintySet) -> DemandMatrix:
+    """A canonical interior matrix of the cone, used to seed optimizers.
+
+    For a margin box the geometric mean ``sqrt(lo * hi)`` recovers the
+    base matrix the box was built from; for the oblivious set we fall
+    back to the uniform all-pairs matrix.
+    """
+    if uncertainty.oblivious:
+        return DemandMatrix({pair: 1.0 for pair in uncertainty.pairs})
+    demands: dict[Pair, float] = {}
+    for pair in uncertainty.pairs:
+        lo, hi = uncertainty.bounds[pair]
+        demands[pair] = math.sqrt(lo * hi) if math.isfinite(hi) else max(lo, 1.0)
+    return DemandMatrix(demands)

@@ -1,0 +1,69 @@
+"""OSPF link-weight heuristics.
+
+The paper's default is *reverse capacities* — "link weights are set to be
+the inverse of link capacities", which matches Cisco's recommended default
+OSPF cost (reference bandwidth divided by link bandwidth) [16].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.exceptions import GraphError
+from repro.graph.network import Edge, Network
+
+#: Cisco's default OSPF auto-cost reference bandwidth is 100 Mbps; we keep
+#: the same role for normalization: weight = reference / capacity.
+DEFAULT_REFERENCE = 100.0
+
+
+def inverse_capacity_weights(
+    network: Network, reference: float = DEFAULT_REFERENCE
+) -> dict[Edge, float]:
+    """``w(e) = reference / c(e)``, the Cisco-recommended default.
+
+    Infinite-capacity edges get the smallest positive weight among real
+    links divided by 2 so they are always preferred, which mirrors their
+    role in the paper's examples ("arbitrarily high capacity").
+    """
+    if reference <= 0:
+        raise GraphError(f"reference bandwidth must be > 0, got {reference}")
+    finite = [
+        reference / network.capacity(*edge) for edge in network.finite_capacity_edges()
+    ]
+    infinite_weight = (min(finite) / 2.0) if finite else 1.0
+    weights: dict[Edge, float] = {}
+    for edge in network.edges():
+        capacity = network.capacity(*edge)
+        weights[edge] = reference / capacity if math.isfinite(capacity) else infinite_weight
+    return weights
+
+
+def unit_weights(network: Network) -> dict[Edge, float]:
+    """All links cost 1 (hop-count routing)."""
+    return {edge: 1.0 for edge in network.edges()}
+
+
+def integer_scaled_weights(
+    weights: Mapping[Edge, float], maximum: int = 65535
+) -> dict[Edge, int]:
+    """Scale float weights to OSPF's integer cost range [1, maximum].
+
+    Real OSPF carries 16-bit costs; the OSPF simulator uses this to check
+    that COYOTE's weight choices survive integer quantization.
+    """
+    if not weights:
+        return {}
+    smallest = min(weights.values())
+    if smallest <= 0:
+        raise GraphError("weights must be positive before integer scaling")
+    scale = 1.0 / smallest
+    scaled = {edge: max(1, round(w * scale)) for edge, w in weights.items()}
+    largest = max(scaled.values())
+    if largest > maximum:
+        # Compress proportionally; ties may coarsen, which is the same
+        # trade-off real deployments face with 16-bit costs.
+        factor = maximum / largest
+        scaled = {edge: max(1, round(v * factor)) for edge, v in scaled.items()}
+    return scaled

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class.  Subclasses are deliberately fine-grained: the
+solvers, the OSPF simulator, and the topology loaders fail for very
+different reasons and users should be able to tell them apart.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed networks (bad capacity, unknown node, ...)."""
+
+
+class DagError(GraphError):
+    """Raised when a per-destination DAG violates its invariants."""
+
+
+class DemandError(ReproError):
+    """Raised for malformed demand matrices or uncertainty sets."""
+
+
+class SolverError(ReproError):
+    """Raised when an LP/convex subproblem fails to solve."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when an optimization problem is provably infeasible."""
+
+
+class UnboundedError(SolverError):
+    """Raised when an optimization problem is unbounded."""
+
+
+class RoutingError(ReproError):
+    """Raised for malformed routing configurations (splitting ratios)."""
+
+
+class OspfError(ReproError):
+    """Raised by the OSPF simulator (bad LSA, non-convergence, ...)."""
+
+
+class FibbingError(ReproError):
+    """Raised when lie synthesis cannot realize a requested configuration."""
+
+
+class TopologyError(ReproError):
+    """Raised by the topology registry for unknown or malformed entries."""
+
+
+class ExperimentError(ReproError):
+    """Raised by experiment drivers for invalid parameters."""

@@ -1,0 +1,147 @@
+"""Shared scaffolding for the Section VI experiments.
+
+The evaluation compares four destination-based schemes, every one
+normalized by the demands-aware optimum within the same augmented DAGs:
+
+* **ECMP** — traditional TE: equal splits over shortest paths;
+* **Base** — the optimal within-DAG routing for the *base* demand
+  matrix, then exposed to the whole uncertainty set;
+* **COYOTE-oblivious** — splitting optimized with no demand knowledge;
+* **COYOTE-partial** — splitting optimized against the margin cone.
+
+:class:`ExperimentSetup` computes everything margin-independent once
+(DAGs, ECMP, Base, the oblivious routing); per-margin evaluation then
+compiles one oracle and scores all schemes against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.config import SolverConfig
+from repro.core.dag_builder import build_dags
+from repro.core.evaluate import project_ecmp_into_dags
+from repro.core.robust import optimize_robust_splitting
+from repro.demands.gravity import gravity_matrix
+from repro.demands.bimodal import bimodal_matrix
+from repro.demands.matrix import DemandMatrix
+from repro.demands.uncertainty import margin_box, oblivious_set
+from repro.ecmp.routing import ecmp_routing
+from repro.ecmp.weights import inverse_capacity_weights
+from repro.exceptions import ExperimentError
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.lp.dag_flow import optimal_dag_routing
+from repro.lp.worst_case import WorstCaseOracle
+from repro.routing.splitting import Routing
+
+SCHEME_COLUMNS = ("ECMP", "Base", "COYOTE-obl", "COYOTE-pk")
+
+
+def base_matrix_for(network: Network, demand_model: str, seed: int) -> DemandMatrix:
+    """The base demand matrix for a model name ("gravity" or "bimodal")."""
+    if demand_model == "gravity":
+        return gravity_matrix(network)
+    if demand_model == "bimodal":
+        return bimodal_matrix(network, seed)
+    raise ExperimentError(f"unknown demand model {demand_model!r}")
+
+
+@dataclass
+class ExperimentSetup:
+    """Margin-independent artifacts for one (topology, base-matrix) pair."""
+
+    network: Network
+    base: DemandMatrix
+    weights: dict[Edge, float]
+    dags: dict[Node, Dag]
+    ecmp: Routing
+    ecmp_projection: Routing
+    base_routing: Routing
+    coyote_oblivious: Routing
+    config: SolverConfig
+    optimizer: str
+
+
+def prepare_setup(
+    network: Network,
+    base: DemandMatrix,
+    config: SolverConfig,
+    weights: Mapping[Edge, float] | None = None,
+    optimizer: str = "softmax",
+) -> ExperimentSetup:
+    """Build DAGs and the margin-independent schemes.
+
+    Args:
+        network: the topology under evaluation.
+        base: the base demand matrix (gravity or bimodal).
+        config: solver knobs (iteration caps drive runtime).
+        weights: link weights; default is the reverse-capacity heuristic.
+            The local-search experiments pass Algorithm 1's weights here.
+        optimizer: inner splitting optimizer ("softmax" or "gp").
+    """
+    weight_map = dict(weights) if weights is not None else inverse_capacity_weights(network)
+    dags = build_dags(network, weight_map, augment=True)
+    ecmp = ecmp_routing(network, weight_map)
+    projection = project_ecmp_into_dags(ecmp, dags)
+    base_routing = optimal_dag_routing(network, dags, base, name="Base")
+
+    # Seeding the oblivious optimization with the base matrix gives the
+    # cutting-plane loop realistic all-pairs pressure from round one; the
+    # resulting routing is still oblivious (the seed only enlarges T).
+    oblivious = optimize_robust_splitting(
+        network,
+        dags,
+        oblivious_set(network.nodes()),
+        config=config,
+        optimizer=optimizer,
+        initial_matrices=[base],
+        extra_starts=[projection.ratios, base_routing.ratios],
+        fallbacks=[projection],
+        name="COYOTE-obl",
+    ).routing
+
+    return ExperimentSetup(
+        network=network,
+        base=base,
+        weights=weight_map,
+        dags=dags,
+        ecmp=ecmp,
+        ecmp_projection=projection,
+        base_routing=base_routing,
+        coyote_oblivious=oblivious,
+        config=config,
+        optimizer=optimizer,
+    )
+
+
+def coyote_partial_for_margin(setup: ExperimentSetup, margin: float) -> Routing:
+    """COYOTE optimized against the margin cone around the base matrix."""
+    uncertainty = margin_box(setup.base, margin)
+    return optimize_robust_splitting(
+        setup.network,
+        setup.dags,
+        uncertainty,
+        config=setup.config,
+        optimizer=setup.optimizer,
+        initial_matrices=[setup.base],
+        extra_starts=[setup.ecmp_projection.ratios, setup.base_routing.ratios],
+        fallbacks=[setup.ecmp_projection],
+        name="COYOTE-pk",
+    ).routing
+
+
+def evaluate_margin(setup: ExperimentSetup, margin: float) -> dict[str, float]:
+    """All four schemes' worst-case ratios for one uncertainty margin."""
+    uncertainty = margin_box(setup.base, margin, label=f"margin={margin:g}")
+    oracle = WorstCaseOracle(
+        setup.network, uncertainty, dags=setup.dags, config=setup.config
+    )
+    partial = coyote_partial_for_margin(setup, margin)
+    return {
+        "ECMP": oracle.evaluate(setup.ecmp).ratio,
+        "Base": oracle.evaluate(setup.base_routing).ratio,
+        "COYOTE-obl": oracle.evaluate(setup.coyote_oblivious).ratio,
+        "COYOTE-pk": oracle.evaluate(partial).ratio,
+    }

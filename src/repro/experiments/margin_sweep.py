@@ -1,0 +1,73 @@
+"""Margin-sweep experiments: Figs. 6, 7, 8 and the Table I blocks.
+
+Each figure plots, for one topology and base-demand model, the
+worst-case performance ratio of the four schemes as the uncertainty
+margin grows.  The paper's reading (Section VI-B): both COYOTE variants
+beat ECMP throughout, and the Base routing — optimal with *no*
+uncertainty — degrades quickly as the margin widens, often falling
+behind even ECMP.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExperimentConfig
+from repro.experiments.common import (
+    SCHEME_COLUMNS,
+    base_matrix_for,
+    evaluate_margin,
+    prepare_setup,
+)
+from repro.topologies.zoo import load_topology
+from repro.utils.tables import Table
+
+
+def margin_sweep_experiment(
+    topology: str,
+    demand_model: str,
+    config: ExperimentConfig | None = None,
+    title: str | None = None,
+) -> Table:
+    """Worst-case ratio of every scheme across the margin grid.
+
+    Args:
+        topology: a registered topology name (e.g. "geant").
+        demand_model: "gravity" or "bimodal".
+        config: margins + solver knobs; defaults to the environment
+            config (reduced unless ``REPRO_FULL=1``).
+        title: table title override.
+    """
+    config = config or ExperimentConfig.from_environment()
+    network = load_topology(topology)
+    base = base_matrix_for(network, demand_model, config.seed)
+    setup = prepare_setup(network, base, config.solver)
+    table = Table(
+        title or f"{topology} / {demand_model} margin sweep",
+        ["margin", *SCHEME_COLUMNS],
+    )
+    for margin in config.margins:
+        ratios = evaluate_margin(setup, margin)
+        table.add_row(margin, *(ratios[s] for s in SCHEME_COLUMNS))
+    table.add_note(
+        f"topology={topology} ({network.num_nodes} nodes / {network.num_edges} "
+        f"directed edges), demand model={demand_model}, margins={config.margins}"
+    )
+    table.add_note(
+        "ratios are worst-case link utilization normalized by the demands-aware "
+        "optimum within the same augmented DAGs (Section VI)"
+    )
+    return table
+
+
+def fig6(config: ExperimentConfig | None = None) -> Table:
+    """Fig. 6: Geant, gravity model."""
+    return margin_sweep_experiment("geant", "gravity", config, "Fig. 6 — Geant, gravity")
+
+
+def fig7(config: ExperimentConfig | None = None) -> Table:
+    """Fig. 7: Digex, gravity model."""
+    return margin_sweep_experiment("digex", "gravity", config, "Fig. 7 — Digex, gravity")
+
+
+def fig8(config: ExperimentConfig | None = None) -> Table:
+    """Fig. 8: AS 1755, bimodal model."""
+    return margin_sweep_experiment("as1755", "bimodal", config, "Fig. 8 — AS1755, bimodal")

@@ -1,0 +1,73 @@
+"""The experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import ExperimentConfig
+from repro.exceptions import ExperimentError
+from repro.experiments.fig9_local_search import fig9
+from repro.experiments.fig10_approximation import fig10
+from repro.experiments.fig11_stretch import fig11
+from repro.experiments.fig12_prototype import fig12
+from repro.experiments.hardness import theorem1_table, theorem4_table
+from repro.experiments.margin_sweep import fig6, fig7, fig8
+from repro.experiments.running_example import running_example_table
+from repro.experiments.table1 import table1_experiment
+from repro.utils.tables import Table
+
+Driver = Callable[[ExperimentConfig | None], Table]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: id, description, driver."""
+
+    id: str
+    description: str
+    driver: Driver
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.id: exp
+    for exp in [
+        Experiment(
+            "running-example",
+            "Fig. 1 / Appendix B: ECMP 3/2, Fig-1c 4/3, optimal sqrt(5)-1",
+            running_example_table,
+        ),
+        Experiment(
+            "thm1",
+            "Theorem 1 (Figs. 2-3): BIPARTITION gadget, balanced ratio 4/3",
+            theorem1_table,
+        ),
+        Experiment(
+            "thm4",
+            "Theorem 4 (Fig. 4): Omega(|V|) oblivious separation",
+            theorem4_table,
+        ),
+        Experiment("fig6", "Fig. 6: Geant, gravity margin sweep", fig6),
+        Experiment("fig7", "Fig. 7: Digex, gravity margin sweep", fig7),
+        Experiment("fig8", "Fig. 8: AS1755, bimodal margin sweep", fig8),
+        Experiment("fig9", "Fig. 9: Abilene, local-search heuristic", fig9),
+        Experiment("fig10", "Fig. 10: virtual next-hop approximation", fig10),
+        Experiment("fig11", "Fig. 11: average path stretch", fig11),
+        Experiment("fig12", "Fig. 12: prototype packet-drop emulation", fig12),
+        Experiment("table1", "Table I: full margin sweep across topologies", table1_experiment),
+    ]
+}
+
+
+def experiment_ids() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> Table:
+    """Run one experiment by id (raises ExperimentError for unknown ids)."""
+    experiment = EXPERIMENTS.get(experiment_id)
+    if experiment is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return experiment.driver(config)

@@ -1,0 +1,135 @@
+"""Integer apportionment of splitting ratios (Fig. 10's "k virtual NHs").
+
+ECMP hashes uniformly over FIB entries, so a splitting ratio vector
+``phi`` at a router can only be realized as ``m_v / sum(m)`` with
+integer multiplicities ``m_v``.  The paper bounds the number of virtual
+links per interface (3, 5 or 10 in Fig. 10); we search, over every
+feasible total, the largest-remainder rounding that minimizes the worst
+absolute ratio error — exhaustive because totals are at most
+``budget * out_degree`` (tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, TypeVar
+
+from repro.exceptions import FibbingError
+from repro.graph.network import Edge, Node
+from repro.routing.splitting import Routing
+
+K = TypeVar("K")
+
+
+def _round_to_total(fractions: dict[K, float], total: int, budget: int) -> dict[K, int] | None:
+    """Largest-remainder apportionment of ``total`` seats, capped per key."""
+    floors = {k: min(int(f * total), budget) for k, f in fractions.items()}
+    assigned = sum(floors.values())
+    remaining = total - assigned
+    if remaining < 0:
+        return None
+    remainders = sorted(
+        fractions,
+        key=lambda k: (fractions[k] * total) - int(fractions[k] * total),
+        reverse=True,
+    )
+    seats = dict(floors)
+    index = 0
+    while remaining > 0 and index < 4 * len(remainders):
+        key = remainders[index % len(remainders)]
+        index += 1
+        if seats[key] < budget:
+            seats[key] += 1
+            remaining -= 1
+    if remaining > 0:
+        return None  # every key is saturated at the budget
+    return seats
+
+
+def apportion(fractions: Mapping[K, float], budget: int) -> dict[K, int]:
+    """Best bounded-integer approximation of a ratio vector.
+
+    Args:
+        fractions: key -> nonnegative fraction; must sum to ~1.
+        budget: maximum multiplicity per key (virtual links per interface).
+
+    Returns:
+        key -> multiplicity with ``1 <= sum(m) <= budget * len`` and each
+        ``m <= budget``, minimizing ``max_k |m_k / sum(m) - fraction_k|``.
+
+    Raises:
+        FibbingError: on an empty/invalid fraction vector or budget < 1.
+    """
+    if budget < 1:
+        raise FibbingError(f"virtual-link budget must be >= 1, got {budget}")
+    items = {k: float(v) for k, v in fractions.items()}
+    if not items:
+        raise FibbingError("cannot apportion an empty fraction vector")
+    total_fraction = sum(items.values())
+    if total_fraction <= 0:
+        raise FibbingError("fractions must have positive sum")
+    if any(v < 0 for v in items.values()):
+        raise FibbingError("fractions must be nonnegative")
+    normalized = {k: v / total_fraction for k, v in items.items()}
+
+    best: dict[K, int] | None = None
+    best_error = float("inf")
+    for total in range(1, budget * len(normalized) + 1):
+        seats = _round_to_total(normalized, total, budget)
+        if seats is None:
+            continue
+        realized_total = sum(seats.values())
+        if realized_total == 0:
+            continue
+        error = max(
+            abs(seats[k] / realized_total - normalized[k]) for k in normalized
+        )
+        if error < best_error - 1e-15:
+            best_error, best = error, seats
+    if best is None:
+        raise FibbingError("no feasible apportionment (budget too small?)")
+    return best
+
+
+def approximate_routing(
+    routing: Routing, budget: int, name: str | None = None
+) -> tuple[Routing, dict[str, float]]:
+    """Round every router's ratios to bounded multiplicities.
+
+    Returns the realizable routing plus statistics:
+    ``max_error`` (worst per-edge ratio deviation), ``virtual_links``
+    (total multiplicity above one entry per used next hop — the number
+    of *additional* FIB entries the lies create), and ``fib_entries``.
+    """
+    new_ratios: dict[Node, dict[Edge, float]] = {}
+    max_error = 0.0
+    virtual_links = 0
+    fib_entries = 0
+    for t, dag in routing.dags.items():
+        ratios = routing.ratios.get(t, {})
+        per_dest: dict[Edge, float] = {}
+        for node in dag.nodes():
+            if node == t:
+                continue
+            heads = dag.out_neighbors(node)
+            if not heads:
+                continue
+            fractions = {head: ratios.get((node, head), 0.0) for head in heads}
+            seats = apportion(fractions, budget)
+            total = sum(seats.values())
+            used = sum(1 for s in seats.values() if s > 0)
+            fib_entries += total
+            virtual_links += total - used
+            for head in heads:
+                realized = seats[head] / total
+                per_dest[(node, head)] = realized
+                max_error = max(max_error, abs(realized - fractions[head]))
+        new_ratios[t] = per_dest
+    approx = Routing(
+        routing.dags, new_ratios, name=name or f"{routing.name}-{budget}NH"
+    )
+    stats = {
+        "max_error": max_error,
+        "virtual_links": float(virtual_links),
+        "fib_entries": float(fib_entries),
+    }
+    return approx, stats

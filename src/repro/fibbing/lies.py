@@ -1,0 +1,126 @@
+"""Fake-LSA synthesis: turning multiplicities into OSPF lies.
+
+For each (router ``u``, destination prefix) pair with desired next-hop
+multiplicities ``m_v``, we inject ``m_v`` fake nodes attached to ``u``
+whose forwarding address is ``v``.  Every lie advertises the prefix at
+the same tiny cost ``delta`` (a fraction of the smallest real link
+weight), giving three properties that make the construction correct:
+
+* at ``u`` the lies beat every real route (``delta`` < any real path
+  cost), so ``u``'s ECMP set is exactly the injected next hops with the
+  injected multiplicities;
+* at any other router ``w`` the lie route costs ``dist(w, u) + delta``,
+  which always loses to ``w``'s own lies (cost ``delta``) — lies are
+  effectively router-local, so each router's next-hop set is
+  independently programmable;
+* the prefix owner still delivers locally (its advertisement costs 0,
+  beating ``delta``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import FibbingError
+from repro.graph.network import Edge, Network, Node
+from repro.ospf.lsa import FakeNodeLsa
+from repro.routing.splitting import Routing
+
+#: The lie cost is this fraction of the smallest real link weight.
+LIE_COST_FRACTION = 1e-3
+
+
+def lie_cost(weights: Mapping[Edge, float]) -> float:
+    """The per-lie route cost delta for a given weight assignment."""
+    if not weights:
+        raise FibbingError("cannot derive a lie cost from an empty weight map")
+    smallest = min(weights.values())
+    if smallest <= 0:
+        raise FibbingError("link weights must be positive")
+    return smallest * LIE_COST_FRACTION
+
+
+def lies_for_destination(
+    network: Network,
+    weights: Mapping[Edge, float],
+    prefix: str,
+    owner: Node,
+    multiplicities: Mapping[Node, Mapping[Node, int]],
+) -> list[FakeNodeLsa]:
+    """Fake LSAs realizing the given next-hop multiplicities for one prefix.
+
+    Args:
+        network: the real topology (used to validate forwarding addresses).
+        weights: real link weights (used to size the lie cost).
+        prefix: the destination prefix being lied about.
+        owner: the router that legitimately advertises the prefix.
+        multiplicities: router -> {next-hop neighbor -> multiplicity}.
+
+    Raises:
+        FibbingError: for lies at the owner, unknown neighbors, or
+            non-positive multiplicities.
+    """
+    delta = lie_cost(weights)
+    lies: list[FakeNodeLsa] = []
+    for node, hops in multiplicities.items():
+        if node == owner:
+            raise FibbingError(f"cannot inject lies at the prefix owner {owner!r}")
+        for neighbor, count in hops.items():
+            if count <= 0:
+                continue
+            if not network.has_edge(node, neighbor):
+                raise FibbingError(
+                    f"next hop {neighbor!r} is not a neighbor of {node!r}"
+                )
+            for copy in range(count):
+                lies.append(
+                    FakeNodeLsa(
+                        fake_id=f"fake:{prefix}:{node}:{neighbor}:{copy}",
+                        attachment=str(node),
+                        forwarding_neighbor=str(neighbor),
+                        prefix=prefix,
+                        attach_cost=delta / 2.0,
+                        prefix_cost=delta / 2.0,
+                    )
+                )
+    return lies
+
+
+def lies_for_routing(
+    network: Network,
+    weights: Mapping[Edge, float],
+    routing: Routing,
+    budget: int,
+) -> tuple[list[FakeNodeLsa], Routing]:
+    """Compile a whole routing into lies (one prefix per destination).
+
+    Ratios are first apportioned into multiplicities within ``budget``
+    virtual links per interface; the returned realizable routing is what
+    the lies will actually produce (useful for pre-verification).
+    """
+    from repro.fibbing.apportionment import apportion  # local: avoid cycle
+
+    all_lies: list[FakeNodeLsa] = []
+    realized_ratios: dict[Node, dict[Edge, float]] = {}
+    for t, dag in routing.dags.items():
+        ratios = routing.ratios.get(t, {})
+        multiplicities: dict[Node, dict[Node, int]] = {}
+        per_dest: dict[Edge, float] = {}
+        for node in dag.nodes():
+            if node == t:
+                continue
+            heads = dag.out_neighbors(node)
+            if not heads:
+                continue
+            fractions = {head: ratios.get((node, head), 0.0) for head in heads}
+            seats = apportion(fractions, budget)
+            multiplicities[node] = {h: s for h, s in seats.items() if s > 0}
+            total = sum(seats.values())
+            for head in heads:
+                per_dest[(node, head)] = seats[head] / total
+        all_lies.extend(
+            lies_for_destination(network, weights, str(t), t, multiplicities)
+        )
+        realized_ratios[t] = per_dest
+    realizable = Routing(routing.dags, realized_ratios, name=f"{routing.name}-lies")
+    return all_lies, realizable

@@ -1,0 +1,87 @@
+"""Steady-state fluid traffic model.
+
+Two views of a routing under a concrete demand matrix:
+
+* :func:`fluid_report` — offered link loads, utilizations, and the
+  congestion hot spot (no losses: the TE metric of Sections III/VI);
+* :func:`delivery_fractions` — a first-order loss model: each link
+  passes at most its capacity, dropping the excess proportionally, and a
+  pair's delivery fraction aggregates path survival probabilities.  The
+  packet simulator (:mod:`repro.flowsim.packet`) refines this with
+  queues; the fluid version is its deterministic sanity check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.demands.matrix import DemandMatrix
+from repro.graph.network import Edge, Network, Node
+from repro.routing.splitting import Routing
+
+
+@dataclass
+class FluidReport:
+    """Offered loads and utilizations for one (routing, demand) pair."""
+
+    loads: dict[Edge, float]
+    utilization: dict[Edge, float]
+    max_utilization: float
+    hottest_edge: Edge | None
+
+    def over_subscribed(self) -> list[Edge]:
+        """Links offered more traffic than they can carry."""
+        return [e for e, u in self.utilization.items() if u > 1.0 + 1e-12]
+
+
+def fluid_report(network: Network, routing: Routing, demand: DemandMatrix) -> FluidReport:
+    """Compute the loads a routing places on every link for a demand."""
+    loads = routing.link_loads(demand)
+    utilization: dict[Edge, float] = {}
+    hottest: Edge | None = None
+    worst = 0.0
+    for edge, flow in loads.items():
+        capacity = network.capacity(*edge)
+        if not math.isfinite(capacity):
+            continue
+        u = flow / capacity
+        utilization[edge] = u
+        if u > worst:
+            worst, hottest = u, edge
+    return FluidReport(loads, utilization, worst, hottest)
+
+
+def delivery_fractions(
+    network: Network, routing: Routing, demand: DemandMatrix
+) -> dict[tuple[Node, Node], float]:
+    """Per-pair fraction of traffic delivered under proportional loss.
+
+    Every link forwards ``min(1, capacity / offered)`` of its traffic;
+    a pair's delivered fraction follows the DAG recursion
+    ``deliver(u) = sum_v phi(u, v) * survive(u, v) * deliver(v)`` with
+    ``deliver(root) = 1``.
+    """
+    report = fluid_report(network, routing, demand)
+    survive: dict[Edge, float] = {}
+    for edge, u in report.utilization.items():
+        survive[edge] = 1.0 if u <= 1.0 else 1.0 / u
+    fractions: dict[tuple[Node, Node], float] = {}
+    for (s, t), volume in demand.items():
+        if volume <= 0:
+            continue
+        dag = routing.dags[t]
+        ratios = routing.ratios.get(t, {})
+        deliver: dict[Node, float] = {t: 1.0}
+        for node in reversed(dag.topological_order()):
+            if node == t:
+                continue
+            total = 0.0
+            for head in dag.out_neighbors(node):
+                fraction = ratios.get((node, head), 0.0)
+                if fraction == 0.0:
+                    continue
+                total += fraction * survive.get((node, head), 1.0) * deliver[head]
+            deliver[node] = total
+        fractions[(s, t)] = deliver.get(s, 0.0)
+    return fractions

@@ -1,0 +1,216 @@
+"""Directed capacitated network model (Section III of the paper).
+
+The network is a directed graph ``G = (V, E)`` where ``c_e`` is the
+capacity of edge ``e``.  Topologies from the Internet Topology Zoo are
+undirected; :meth:`Network.from_undirected` expands each undirected link
+into two directed edges of equal capacity, which matches how the paper's
+formulation (and OSPF itself) treats full-duplex links.
+
+Nodes are arbitrary hashable labels (strings throughout the library).
+Edge iteration order is deterministic: insertion order, which makes LP
+column indices and experiment output stable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.exceptions import GraphError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+#: Capacity value used for the paper's "infinite (arbitrarily high)" links.
+INFINITE_CAPACITY = math.inf
+
+
+class Network:
+    """A directed graph with strictly positive edge capacities.
+
+    The class is intentionally small: the TE algorithms need adjacency,
+    capacities, and a stable edge ordering, nothing else.  Mutation is
+    only allowed through :meth:`add_node` / :meth:`add_edge`; algorithms
+    treat instances as immutable once built.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._succ: dict[Node, dict[Node, float]] = {}
+        self._pred: dict[Node, dict[Node, float]] = {}
+        self._edge_order: list[Edge] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (idempotent)."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, tail: Node, head: Node, capacity: float) -> None:
+        """Add the directed edge ``tail -> head`` with the given capacity.
+
+        Raises:
+            GraphError: on self-loops, duplicate edges, or non-positive
+                capacity (``math.inf`` is allowed and models the paper's
+                "arbitrarily high" capacities).
+        """
+        if tail == head:
+            raise GraphError(f"self-loop on {tail!r} is not allowed")
+        if not (capacity > 0):
+            raise GraphError(f"capacity of ({tail!r}, {head!r}) must be > 0, got {capacity}")
+        self.add_node(tail)
+        self.add_node(head)
+        if head in self._succ[tail]:
+            raise GraphError(f"duplicate edge ({tail!r}, {head!r})")
+        self._succ[tail][head] = float(capacity)
+        self._pred[head][tail] = float(capacity)
+        self._edge_order.append((tail, head))
+
+    @classmethod
+    def from_undirected(
+        cls,
+        links: Iterable[tuple[Node, Node, float]],
+        name: str = "network",
+    ) -> "Network":
+        """Build a network from undirected links (one directed edge each way)."""
+        net = cls(name)
+        for u, v, capacity in links:
+            net.add_edge(u, v, capacity)
+            net.add_edge(v, u, capacity)
+        return net
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Node, Node, float]],
+        name: str = "network",
+    ) -> "Network":
+        """Build a network from directed (tail, head, capacity) triples."""
+        net = cls(name)
+        for u, v, capacity in edges:
+            net.add_edge(u, v, capacity)
+        return net
+
+    def copy(self, name: str | None = None) -> "Network":
+        """A structural copy (capacities included)."""
+        clone = Network(name or self.name)
+        for node in self._succ:
+            clone.add_node(node)
+        for u, v in self._edge_order:
+            clone.add_edge(u, v, self._succ[u][v])
+        return clone
+
+    # -- queries ----------------------------------------------------------
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> list[Edge]:
+        """All directed edges, in insertion order."""
+        return list(self._edge_order)
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_edge(self, tail: Node, head: Node) -> bool:
+        return tail in self._succ and head in self._succ[tail]
+
+    def capacity(self, tail: Node, head: Node) -> float:
+        try:
+            return self._succ[tail][head]
+        except KeyError:
+            raise GraphError(f"no edge ({tail!r}, {head!r}) in {self.name!r}") from None
+
+    def successors(self, node: Node) -> list[Node]:
+        self._require_node(node)
+        return list(self._succ[node])
+
+    def predecessors(self, node: Node) -> list[Node]:
+        self._require_node(node)
+        return list(self._pred[node])
+
+    def out_edges(self, node: Node) -> list[Edge]:
+        self._require_node(node)
+        return [(node, head) for head in self._succ[node]]
+
+    def in_edges(self, node: Node) -> list[Edge]:
+        self._require_node(node)
+        return [(tail, node) for tail in self._pred[node]]
+
+    def out_degree(self, node: Node) -> int:
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        self._require_node(node)
+        return len(self._pred[node])
+
+    def capacities(self) -> Mapping[Edge, float]:
+        """Edge -> capacity for every directed edge."""
+        return {(u, v): self._succ[u][v] for (u, v) in self._edge_order}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_order)
+
+    def edge_index(self) -> dict[Edge, int]:
+        """Stable edge -> column-index map used by the LP builders."""
+        return {edge: i for i, edge in enumerate(self._edge_order)}
+
+    def total_capacity_out(self, node: Node) -> float:
+        """Sum of outgoing capacities (used by the gravity demand model)."""
+        self._require_node(node)
+        return sum(self._succ[node].values())
+
+    def finite_capacity_edges(self) -> list[Edge]:
+        """Edges with finite capacity — the only ones that can be congested."""
+        return [e for e in self._edge_order if math.isfinite(self._succ[e[0]][e[1]])]
+
+    # -- validation -------------------------------------------------------
+
+    def is_strongly_connected(self) -> bool:
+        """True when every node can reach every other node.
+
+        TE over all-pairs demands requires strong connectivity; topology
+        loaders validate this before an experiment starts.
+        """
+        nodes = self.nodes()
+        if len(nodes) <= 1:
+            return True
+        return (
+            len(self._search(nodes[0], self._succ)) == len(nodes)
+            and len(self._search(nodes[0], self._pred)) == len(nodes)
+        )
+
+    def _search(self, start: Node, adjacency: Mapping[Node, Mapping[Node, float]]) -> set[Node]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._succ:
+            raise GraphError(f"unknown node {node!r} in {self.name!r}")
+
+    # -- dunder -----------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"

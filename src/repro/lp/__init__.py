@@ -1,0 +1,25 @@
+"""Linear-programming substrate built on scipy's HiGHS backend.
+
+The paper's toolchain was AMPL + MOSEK; this package replaces it with a
+small modeling layer (:mod:`repro.lp.model`) and problem-specific builders:
+
+* :mod:`repro.lp.mcf` — min-congestion multicommodity flow (``OPTU``);
+* :mod:`repro.lp.dag_flow` — demands-aware optimum restricted to DAGs;
+* :mod:`repro.lp.worst_case` — the per-edge adversarial ("slave") LP;
+* :mod:`repro.lp.certificate` — the Theorem 5 dual certificate.
+"""
+
+from repro.lp.model import LinExpr, Model, Solution, Variable
+from repro.lp.mcf import MinCongestionResult, min_congestion
+from repro.lp.dag_flow import dag_optimal_congestion, induced_splitting_ratios
+
+__all__ = [
+    "LinExpr",
+    "Model",
+    "Solution",
+    "Variable",
+    "MinCongestionResult",
+    "min_congestion",
+    "dag_optimal_congestion",
+    "induced_splitting_ratios",
+]

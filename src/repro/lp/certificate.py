@@ -1,0 +1,142 @@
+"""Theorem 5: dual certificates for the oblivious performance ratio.
+
+Theorem 5 states that a routing ``phi`` has oblivious ratio at most ``r``
+if there exist nonnegative edge weights ``pi_e(h)`` (one family per
+network edge ``e``) such that
+
+  R1:  sum_h pi_e(h) * c_h <= r                       for every edge e;
+  R2:  f_st(u) * phi_t(u, v) <= c_e * dist_{pi_e}(s, t)  for all pairs,
+
+where ``dist_{pi_e}`` is the shortest-path distance inside the
+destination DAG under weights ``pi_e``.  For a *fixed* routing, finding
+the best certificate is an LP per edge (variables ``pi_e(h)`` and
+shortest-path potentials ``p_e(s, t)``); by LP duality its value equals
+the slave LP's optimum, which gives us an independent cross-check of the
+whole adversarial evaluation stack (exercised in the test suite).
+
+This implementation covers the fully oblivious case (demands constrained
+only by routability), matching the theorem's statement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import SolverError
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.lp.model import LinExpr, Model
+from repro.routing.splitting import Routing
+
+
+@dataclass
+class Certificate:
+    """A Theorem-5 certificate for one edge.
+
+    Attributes:
+        edge: the edge ``e`` being certified.
+        ratio: the certified bound ``sum_h pi(h) * c_h``.
+        weights: the ``pi_e(h)`` weights over finite-capacity edges.
+    """
+
+    edge: Edge
+    ratio: float
+    weights: dict[Edge, float]
+
+
+def _default_pairs(dags: Mapping[Node, Dag]) -> list[tuple[Node, Node]]:
+    """All (source, destination) pairs the DAGs can carry."""
+    return [(s, t) for t, dag in dags.items() for s in dag.nodes() if s != t]
+
+
+def best_certificate_for_edge(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    routing: Routing,
+    edge: Edge,
+    pairs: list[tuple[Node, Node]] | None = None,
+) -> Certificate:
+    """Solve the per-edge certificate LP (minimize R1's left-hand side).
+
+    Variables:
+        pi[h] >= 0 for finite-capacity edges ``h`` (infinite-capacity
+            edges are forced to zero weight — any positive weight would
+            make R1 infinite);
+        p[(s, t)] >= 0 — shortest-path potentials per demand pair,
+            constrained by the triangle inequalities over DAG edges.
+
+    Args:
+        pairs: the demand support being certified against (defaults to
+            every pair the DAGs can carry — the fully oblivious case).
+    """
+    capacity_e = network.capacity(*edge)
+    if not math.isfinite(capacity_e):
+        raise SolverError(f"cannot certify infinite-capacity edge {edge!r}")
+    model = Model(f"certificate[{edge}]")
+    finite_edges = network.finite_capacity_edges()
+    pi = {h: model.add_var(f"pi[{h}]") for h in finite_edges}
+
+    # Load coefficients f_st(u) * phi_t(e) of the fixed routing on `edge`.
+    if pairs is None:
+        pairs = _default_pairs(dags)
+    coefficients = routing.load_coefficients(pairs).get(edge, {})
+
+    # Potentials exist per destination: p[(v, t)] approximates the
+    # pi-shortest distance from v to t within the DAG of t.
+    potentials: dict[tuple[Node, Node], object] = {}
+    for t, dag in dags.items():
+        for v in dag.nodes():
+            if v != t:
+                potentials[(v, t)] = model.add_var(f"p[{v},{t}]")
+        # Triangle inequalities: pi(a) + p(k, t) - p(j, t) >= 0 for DAG
+        # edges a = (j, k); p(t, t) is identically zero.
+        for (j, k) in dag.edges():
+            expr = LinExpr()
+            if (j, k) in pi:
+                expr.add_term(pi[(j, k)], 1.0)
+            if k != t:
+                expr.add_term(potentials[(k, t)], 1.0)
+            expr.add_term(potentials[(j, t)], -1.0)
+            model.add_ge(expr, 0.0)
+
+    # R2: the fraction of (s, t) demand crossing `edge` is at most
+    # c_e * p(s, t).
+    for (s, t), coefficient in coefficients.items():
+        model.add_ge(capacity_e * potentials[(s, t)], coefficient)
+
+    objective = LinExpr()
+    for h, var in pi.items():
+        objective.add_term(var, network.capacity(*h))
+    model.minimize(objective)
+    solution = model.solve()
+    weights = {h: solution.value(var) for h, var in pi.items() if solution.value(var) > 1e-12}
+    return Certificate(edge=edge, ratio=float(solution.objective), weights=weights)
+
+
+def certified_oblivious_ratio(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    routing: Routing,
+    pairs: list[tuple[Node, Node]] | None = None,
+) -> float:
+    """Best certified oblivious ratio: max over edges of the per-edge LP.
+
+    Edges that carry no flow under the routing are skipped (their
+    certificate is trivially zero).  ``pairs`` restricts the certified
+    demand support (default: all pairs, the fully oblivious statement of
+    Theorem 5).
+    """
+    if pairs is None:
+        pairs = _default_pairs(dags)
+    loaded_edges = set(routing.load_coefficients(pairs))
+    worst = 0.0
+    for edge in network.finite_capacity_edges():
+        if edge not in loaded_edges:
+            continue
+        worst = max(
+            worst,
+            best_certificate_for_edge(network, dags, routing, edge, pairs).ratio,
+        )
+    return worst

@@ -1,0 +1,78 @@
+"""Demands-aware optimal routing *within* per-destination DAGs.
+
+Solving ``OPTU`` restricted to given DAGs yields both the normalizer of
+the paper's evaluation metric and the "Base" scheme of Table I (the
+optimal routing for the base demand matrix, later exposed to demand
+uncertainty).  Because DAG edges are acyclic per destination, the optimal
+flow *induces* splitting ratios directly: each node forwards proportional
+to its optimal out-flows.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.demands.matrix import DemandMatrix
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.lp.mcf import MinCongestionResult, min_congestion
+from repro.routing.splitting import Routing
+
+#: Out-flows below this volume are treated as zero when deriving ratios.
+_FLOW_EPSILON = 1e-10
+
+
+def dag_optimal_congestion(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    demand: DemandMatrix,
+) -> MinCongestionResult:
+    """``OPT_DAG(D)``: best congestion achievable inside the given DAGs."""
+    return min_congestion(network, demand, dags=dags)
+
+
+def induced_splitting_ratios(
+    dags: Mapping[Node, Dag],
+    result: MinCongestionResult,
+) -> dict[Node, dict[Edge, float]]:
+    """Convert optimal DAG flows into per-node splitting ratios.
+
+    Nodes that carry no flow for a destination get a uniform split over
+    their DAG out-edges: the choice is irrelevant for the optimized
+    demand but keeps the configuration total (every node can forward),
+    which matters when the routing is later evaluated on *other* demand
+    matrices (the Base scheme under uncertainty).
+    """
+    ratios: dict[Node, dict[Edge, float]] = {}
+    for t, dag in dags.items():
+        flows = result.flows.get(t, {})
+        per_dest: dict[Edge, float] = {}
+        for node in dag.nodes():
+            if node == t:
+                continue
+            heads = dag.out_neighbors(node)
+            if not heads:
+                continue
+            out_flows = [max(flows.get((node, head), 0.0), 0.0) for head in heads]
+            total = sum(out_flows)
+            if total > _FLOW_EPSILON:
+                for head, volume in zip(heads, out_flows):
+                    per_dest[(node, head)] = volume / total
+            else:
+                share = 1.0 / len(heads)
+                for head in heads:
+                    per_dest[(node, head)] = share
+        ratios[t] = per_dest
+    return ratios
+
+
+def optimal_dag_routing(
+    network: Network,
+    dags: Mapping[Node, Dag],
+    demand: DemandMatrix,
+    name: str = "Base",
+) -> Routing:
+    """The "Base" scheme: optimal within-DAG routing for one demand matrix."""
+    result = dag_optimal_congestion(network, dags, demand)
+    ratios = induced_splitting_ratios(dags, result)
+    return Routing(dags, ratios, name=name)

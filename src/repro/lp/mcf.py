@@ -1,0 +1,153 @@
+"""Min-congestion multicommodity flow — the ``OPTU(D)`` of Section III.
+
+``OPTU(D)`` is the smallest maximum link utilization any per-destination
+routing can achieve for demand matrix ``D``.  Aggregating commodities by
+destination is lossless for this objective: any optimal aggregated flow
+can be made acyclic (cycle removal never raises congestion), and an
+acyclic destination flow induces per-destination splitting ratios
+``phi_t(u, v) = g_t(u, v) / sum_w g_t(u, w)`` realizing exactly the same
+loads.  The LP therefore has one flow variable per (destination, edge).
+
+The same builder optionally restricts each destination's flow to a given
+DAG, which yields the *demands-aware optimum within the DAGs* — the
+normalizer used throughout the paper's evaluation (Section VI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import InfeasibleError, RoutingError
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.lp.model import LinExpr, Model, Variable
+
+
+@dataclass
+class MinCongestionResult:
+    """Optimal congestion plus the witnessing destination flows.
+
+    Attributes:
+        alpha: the optimal maximum link utilization.
+        flows: destination -> {edge -> flow volume}; only positive flows
+            are stored.
+    """
+
+    alpha: float
+    flows: dict[Node, dict[Edge, float]]
+
+    def flow_on(self, destination: Node, edge: Edge) -> float:
+        return self.flows.get(destination, {}).get(edge, 0.0)
+
+    def total_load(self, edge: Edge) -> float:
+        return sum(per_dest.get(edge, 0.0) for per_dest in self.flows.values())
+
+
+def _allowed_edges(
+    network: Network, destination: Node, dags: Mapping[Node, Dag] | None
+) -> list[Edge]:
+    """Edges commodity ``destination`` may use."""
+    if dags is not None:
+        dag = dags.get(destination)
+        if dag is None:
+            raise RoutingError(f"no DAG provided for destination {destination!r}")
+        return dag.edges()
+    # Unrestricted: every edge except those leaving the destination (flow
+    # to t terminates at t, so such edges can only waste capacity).
+    return [e for e in network.edges() if e[0] != destination]
+
+
+def min_congestion(
+    network: Network,
+    demand: DemandMatrix,
+    dags: Mapping[Node, Dag] | None = None,
+) -> MinCongestionResult:
+    """Solve ``OPTU(D)`` (optionally restricted to per-destination DAGs).
+
+    Raises:
+        InfeasibleError: when some demand source cannot reach its
+            destination through the allowed edges (e.g. a node outside
+            the destination's DAG).
+    """
+    model = Model("min-congestion")
+    alpha = model.add_var("alpha")
+    flow_vars: dict[Node, dict[Edge, Variable]] = {}
+    destinations = sorted(demand.targets(), key=str)
+
+    for t in destinations:
+        edges = _allowed_edges(network, t, dags)
+        flow_vars[t] = {e: model.add_var(f"g[{t}][{e}]") for e in edges}
+        demands_to_t = demand.demands_to(t)
+        # Conservation at every node that could carry commodity t.
+        incident: dict[Node, tuple[list[Edge], list[Edge]]] = {}
+        for (u, v) in edges:
+            incident.setdefault(u, ([], []))[0].append((u, v))
+            incident.setdefault(v, ([], []))[1].append((u, v))
+        for source, volume in demands_to_t.items():
+            if volume > 0 and source not in incident:
+                raise InfeasibleError(
+                    f"demand {source!r} -> {t!r} cannot be routed: source has no "
+                    f"allowed edges for this destination"
+                )
+        for node, (out_list, in_list) in incident.items():
+            if node == t:
+                continue
+            balance = LinExpr()
+            for e in out_list:
+                balance.add_term(flow_vars[t][e], 1.0)
+            for e in in_list:
+                balance.add_term(flow_vars[t][e], -1.0)
+            model.add_eq(balance, demands_to_t.get(node, 0.0))
+
+    # Capacity: total load on each finite-capacity edge at most alpha * c.
+    for edge in network.finite_capacity_edges():
+        capacity = network.capacity(*edge)
+        usage = LinExpr()
+        for t in destinations:
+            var = flow_vars[t].get(edge)
+            if var is not None:
+                usage.add_term(var, 1.0)
+        if usage.terms:
+            usage.add_term(alpha, -capacity)
+            model.add_le(usage, 0.0)
+
+    model.minimize(alpha)
+    solution = model.solve()
+
+    flows: dict[Node, dict[Edge, float]] = {}
+    for t in destinations:
+        per_dest = {
+            e: solution.value(var)
+            for e, var in flow_vars[t].items()
+            if solution.value(var) > 1e-12
+        }
+        flows[t] = per_dest
+    return MinCongestionResult(alpha=float(solution.objective), flows=flows)
+
+
+def optimal_utilization(
+    network: Network,
+    demand: DemandMatrix,
+    dags: Mapping[Node, Dag] | None = None,
+) -> float:
+    """Just the ``OPTU(D)`` value (convenience wrapper)."""
+    if not demand:
+        return 0.0
+    return min_congestion(network, demand, dags).alpha
+
+
+def is_routable(
+    network: Network,
+    demand: DemandMatrix,
+    dags: Mapping[Node, Dag] | None = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True when the demand fits within capacities (``OPTU(D) <= 1``)."""
+    if not demand:
+        return True
+    if not math.isfinite(demand.total()):
+        return False
+    return min_congestion(network, demand, dags).alpha <= 1.0 + tolerance

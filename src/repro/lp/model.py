@@ -1,0 +1,337 @@
+"""A small LP modeling layer over ``scipy.optimize.linprog`` (HiGHS).
+
+Design goals, in order:
+
+1. *Readable problem builders.* The flow formulations in this library are
+   easier to audit when written as ``model.add_eq(outflow - inflow, demand)``
+   than as raw matrix stuffing.
+2. *Cheap re-solves.* The adversarial evaluation of Section VI solves one
+   LP per network edge where only the objective changes; :meth:`Model.compile`
+   freezes the constraint matrices once and :meth:`CompiledLP.solve` accepts
+   a fresh objective vector per call.
+3. *Duals.* The Theorem 5 certificate and the cutting-plane machinery need
+   constraint marginals, which HiGHS exposes.
+
+Only what the library needs is implemented: continuous variables, linear
+constraints, minimize/maximize.  No integer variables (the apportionment
+code uses combinatorial rounding instead, as the paper does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+
+
+class Variable:
+    """A continuous decision variable (a handle into its model)."""
+
+    __slots__ = ("index", "name", "lower", "upper")
+
+    def __init__(self, index: int, name: str, lower: float, upper: float):
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    # Arithmetic produces LinExpr so builders can write natural formulas.
+    def __add__(self, other):
+        return LinExpr.of(self) + other
+
+    def __radd__(self, other):
+        return LinExpr.of(self) + other
+
+    def __sub__(self, other):
+        return LinExpr.of(self) - other
+
+    def __rsub__(self, other):
+        return (-1.0) * LinExpr.of(self) + other
+
+    def __mul__(self, coefficient: float):
+        return LinExpr.of(self) * coefficient
+
+    def __rmul__(self, coefficient: float):
+        return LinExpr.of(self) * coefficient
+
+    def __neg__(self):
+        return LinExpr.of(self) * -1.0
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """A linear expression: ``sum(coef_i * var_i) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: dict[int, float] | None = None, constant: float = 0.0):
+        self.terms: dict[int, float] = terms if terms is not None else {}
+        self.constant = constant
+
+    @classmethod
+    def of(cls, item: "Variable | LinExpr | float") -> "LinExpr":
+        if isinstance(item, LinExpr):
+            return cls(dict(item.terms), item.constant)
+        if isinstance(item, Variable):
+            return cls({item.index: 1.0})
+        return cls({}, float(item))
+
+    @classmethod
+    def weighted_sum(cls, pairs: Iterable[tuple["Variable", float]]) -> "LinExpr":
+        """Fast path for big sums: avoids repeated temporary expressions."""
+        terms: dict[int, float] = {}
+        for var, coef in pairs:
+            if coef == 0.0:
+                continue
+            terms[var.index] = terms.get(var.index, 0.0) + coef
+        return cls(terms)
+
+    def add_term(self, var: "Variable", coef: float) -> "LinExpr":
+        """In-place accumulation (returns self for chaining)."""
+        if coef != 0.0:
+            self.terms[var.index] = self.terms.get(var.index, 0.0) + coef
+        return self
+
+    def __add__(self, other):
+        result = LinExpr.of(self)
+        other = LinExpr.of(other)
+        for index, coef in other.terms.items():
+            result.terms[index] = result.terms.get(index, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    def __radd__(self, other):
+        return self + other
+
+    def __sub__(self, other):
+        return self + (LinExpr.of(other) * -1.0)
+
+    def __rsub__(self, other):
+        return (self * -1.0) + other
+
+    def __mul__(self, coefficient: float):
+        coefficient = float(coefficient)
+        return LinExpr(
+            {i: c * coefficient for i, c in self.terms.items()},
+            self.constant * coefficient,
+        )
+
+    def __rmul__(self, coefficient: float):
+        return self * coefficient
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __repr__(self) -> str:
+        return f"LinExpr(terms={len(self.terms)}, constant={self.constant})"
+
+
+@dataclass
+class Solution:
+    """The result of an LP solve.
+
+    Attributes:
+        objective: optimal objective value (in the user's sense, i.e.
+            negated back when the problem was a maximization).
+        values: optimal value per variable index.
+        ineq_duals: marginals of the <= constraints, in insertion order.
+        eq_duals: marginals of the == constraints, in insertion order.
+    """
+
+    objective: float
+    values: np.ndarray
+    ineq_duals: np.ndarray
+    eq_duals: np.ndarray
+
+    def value(self, var: Variable) -> float:
+        return float(self.values[var.index])
+
+    def value_map(self, variables: Mapping[object, Variable]) -> dict[object, float]:
+        """Extract a {key: value} dict for a keyed family of variables."""
+        return {key: float(self.values[v.index]) for key, v in variables.items()}
+
+
+class CompiledLP:
+    """Frozen constraint matrices; solve repeatedly with fresh objectives."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        a_ub: sparse.csr_matrix | None,
+        b_ub: np.ndarray | None,
+        a_eq: sparse.csr_matrix | None,
+        b_eq: np.ndarray | None,
+        bounds: list[tuple[float, float]],
+    ):
+        self.num_vars = num_vars
+        self._a_ub = a_ub
+        self._b_ub = b_ub
+        self._a_eq = a_eq
+        self._b_eq = b_eq
+        self._bounds = bounds
+
+    def solve(self, objective: np.ndarray, maximize: bool = False) -> Solution:
+        """Solve with the given dense objective vector.
+
+        Raises:
+            InfeasibleError / UnboundedError / SolverError: per HiGHS status.
+        """
+        if len(objective) != self.num_vars:
+            raise SolverError(
+                f"objective has {len(objective)} entries, model has {self.num_vars} variables"
+            )
+        c = -np.asarray(objective, dtype=float) if maximize else np.asarray(objective, dtype=float)
+        result = linprog(
+            c,
+            A_ub=self._a_ub,
+            b_ub=self._b_ub,
+            A_eq=self._a_eq,
+            b_eq=self._b_eq,
+            bounds=self._bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleError(result.message)
+        if result.status == 3:
+            raise UnboundedError(result.message)
+        if result.status != 0:
+            raise SolverError(f"LP solve failed (status {result.status}): {result.message}")
+        objective_value = float(result.fun)
+        if maximize:
+            objective_value = -objective_value
+        ineq_duals = (
+            np.asarray(result.ineqlin.marginals) if self._a_ub is not None else np.empty(0)
+        )
+        eq_duals = np.asarray(result.eqlin.marginals) if self._a_eq is not None else np.empty(0)
+        return Solution(objective_value, np.asarray(result.x), ineq_duals, eq_duals)
+
+
+class Model:
+    """An LP under construction: variables, constraints, one objective."""
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._vars: list[Variable] = []
+        # Constraints stored as parallel COO buffers; assembled on compile.
+        self._ub_rows: list[dict[int, float]] = []
+        self._ub_rhs: list[float] = []
+        self._eq_rows: list[dict[int, float]] = []
+        self._eq_rhs: list[float] = []
+        self._objective: LinExpr = LinExpr()
+        self._maximize = False
+
+    # -- variables ----------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = math.inf,
+    ) -> Variable:
+        """Create a variable with the given bounds (default: nonnegative)."""
+        if lower > upper:
+            raise SolverError(f"variable {name!r}: lower bound {lower} > upper bound {upper}")
+        var = Variable(len(self._vars), name, lower, upper)
+        self._vars.append(var)
+        return var
+
+    def add_vars(self, keys: Iterable[object], prefix: str, lower: float = 0.0) -> dict[object, Variable]:
+        """Create a keyed family of variables, e.g. one per edge."""
+        return {key: self.add_var(f"{prefix}[{key}]", lower=lower) for key in keys}
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._ub_rows) + len(self._eq_rows)
+
+    # -- constraints ----------------------------------------------------------
+
+    def add_le(self, expr: "LinExpr | Variable | float", rhs: "LinExpr | Variable | float") -> int:
+        """Add ``expr <= rhs``; returns the inequality row index (for duals)."""
+        diff = LinExpr.of(expr) - LinExpr.of(rhs)
+        self._ub_rows.append(diff.terms)
+        self._ub_rhs.append(-diff.constant)
+        return len(self._ub_rows) - 1
+
+    def add_ge(self, expr, rhs) -> int:
+        """Add ``expr >= rhs`` (stored as ``-expr <= -rhs``)."""
+        return self.add_le(LinExpr.of(rhs), LinExpr.of(expr))
+
+    def add_eq(self, expr, rhs) -> int:
+        """Add ``expr == rhs``; returns the equality row index (for duals)."""
+        diff = LinExpr.of(expr) - LinExpr.of(rhs)
+        self._eq_rows.append(diff.terms)
+        self._eq_rhs.append(-diff.constant)
+        return len(self._eq_rows) - 1
+
+    # -- objective & solving -------------------------------------------------
+
+    def minimize(self, expr: "LinExpr | Variable") -> None:
+        self._objective = LinExpr.of(expr)
+        self._maximize = False
+
+    def maximize(self, expr: "LinExpr | Variable") -> None:
+        self._objective = LinExpr.of(expr)
+        self._maximize = True
+
+    def compile(self) -> CompiledLP:
+        """Freeze constraints into sparse matrices (objective supplied later)."""
+        n = len(self._vars)
+
+        def assemble(rows: list[dict[int, float]]) -> sparse.csr_matrix | None:
+            if not rows:
+                return None
+            data: list[float] = []
+            row_idx: list[int] = []
+            col_idx: list[int] = []
+            for r, terms in enumerate(rows):
+                for c, coef in terms.items():
+                    row_idx.append(r)
+                    col_idx.append(c)
+                    data.append(coef)
+            return sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            )
+
+        bounds = [(v.lower, None if math.isinf(v.upper) else v.upper) for v in self._vars]
+        return CompiledLP(
+            n,
+            assemble(self._ub_rows),
+            np.asarray(self._ub_rhs, dtype=float) if self._ub_rhs else None,
+            assemble(self._eq_rows),
+            np.asarray(self._eq_rhs, dtype=float) if self._eq_rhs else None,
+            bounds,
+        )
+
+    def objective_vector(self, expr: "LinExpr | Variable | None" = None) -> np.ndarray:
+        """Dense coefficient vector for ``expr`` (default: the set objective)."""
+        source = LinExpr.of(expr) if expr is not None else self._objective
+        vec = np.zeros(len(self._vars))
+        for index, coef in source.terms.items():
+            vec[index] = coef
+        return vec
+
+    def solve(self) -> Solution:
+        """Compile and solve with the objective set via minimize/maximize."""
+        compiled = self.compile()
+        solution = compiled.solve(self.objective_vector(), maximize=self._maximize)
+        # The objective's constant term is not part of the vector; add it back.
+        solution.objective += self._objective.constant
+        return solution
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars}, "
+            f"le={len(self._ub_rows)}, eq={len(self._eq_rows)})"
+        )

@@ -1,0 +1,214 @@
+"""An OSPF routing domain: routers wired by a capacitated network.
+
+The domain owns the routers, simulates reliable flooding (synchronous
+rounds: every router forwards newly-adopted LSAs to its neighbors until
+no database changes), and extracts network-wide forwarding state:
+
+* per-prefix forwarding DAGs induced by the routers' FIBs;
+* the realized splitting ratios (ECMP over FIB entries, virtual-link
+  multiplicities included);
+
+which is exactly the data the Fibbing controller needs to verify that
+its lies produced the intended configuration.
+
+Failures are supported (:meth:`fail_link`): the affected routers
+re-originate their router LSAs and flooding re-converges, which the test
+suite uses to check that lies survive reconvergence semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import OspfError
+from repro.graph.dag import Dag
+from repro.graph.network import Edge, Network, Node
+from repro.ospf.lsa import FakeNodeLsa, Lsa, PrefixLsa
+from repro.ospf.router import Router
+from repro.routing.splitting import Routing
+
+#: Flooding rounds are bounded by the network diameter; this cap only
+#: guards against implementation bugs.
+_MAX_FLOOD_ROUNDS = 10_000
+
+
+class OspfDomain:
+    """All OSPF state for one network."""
+
+    def __init__(self, network: Network, weights: Mapping[Edge, float]):
+        self.network = network
+        self.weights = dict(weights)
+        self.routers: dict[str, Router] = {
+            str(node): Router(str(node)) for node in network.nodes()
+        }
+        self._node_of = {str(node): node for node in network.nodes()}
+        self._prefix_owner: dict[str, str] = {}
+        self._converged = False
+        for node in network.nodes():
+            links = {
+                str(head): self.weights[(node, head)]
+                for head in network.successors(node)
+            }
+            self.routers[str(node)].originate(links)
+
+    # -- prefixes ----------------------------------------------------------
+
+    def advertise_prefix(self, router_id: str, prefix: str, cost: float = 0.0) -> None:
+        """Attach a destination prefix to a router (its loopback/network)."""
+        router_id = str(router_id)
+        if router_id not in self.routers:
+            raise OspfError(f"unknown router {router_id!r}")
+        if prefix in self._prefix_owner:
+            raise OspfError(f"prefix {prefix!r} already advertised")
+        self._prefix_owner[prefix] = router_id
+        self.routers[router_id].receive(PrefixLsa(prefix, router_id, cost))
+        self._converged = False
+
+    def advertise_loopbacks(self) -> None:
+        """Give every router a prefix named after itself (the common case)."""
+        for router_id in self.routers:
+            self.advertise_prefix(router_id, router_id)
+
+    def prefix_owner(self, prefix: str) -> str:
+        owner = self._prefix_owner.get(prefix)
+        if owner is None:
+            raise OspfError(f"unknown prefix {prefix!r}")
+        return owner
+
+    def node_of(self, router_id: str) -> Node:
+        """Map a router id back to its network node label."""
+        node = self._node_of.get(router_id)
+        if node is None:
+            raise OspfError(f"unknown router {router_id!r}")
+        return node
+
+    def prefixes(self) -> list[str]:
+        return list(self._prefix_owner)
+
+    # -- lies --------------------------------------------------------------------
+
+    def inject_lies(self, lies: Iterable[FakeNodeLsa]) -> int:
+        """Flood fake-node LSAs into the domain (returns count injected)."""
+        count = 0
+        for lie in lies:
+            attachment = self.routers.get(lie.attachment)
+            if attachment is None:
+                raise OspfError(f"lie attaches to unknown router {lie.attachment!r}")
+            if not self.network.has_edge(
+                self._node_of[lie.attachment], self._node_of[lie.forwarding_neighbor]
+            ):
+                raise OspfError(
+                    f"lie forwarding address {lie.forwarding_neighbor!r} is not a "
+                    f"neighbor of {lie.attachment!r}"
+                )
+            attachment.receive(lie)
+            count += 1
+            self._converged = False
+        return count
+
+    def clear_lies(self) -> None:
+        """Remove every fake LSA from all routers (controller rollback)."""
+        for router in self.routers.values():
+            for fake in list(router.lsdb.fake_lsas()):
+                router.lsdb.remove(fake.key)
+            router.flush_routes()
+        self._converged = False
+
+    # -- flooding ----------------------------------------------------------------
+
+    def flood(self) -> int:
+        """Synchronous reliable flooding until every LSDB is identical.
+
+        Returns the number of rounds it took.  Each round, every router
+        offers its full database to each neighbor; neighbors adopt the
+        newer LSAs.  (Real OSPF sends only changed LSAs; offering the
+        database is behaviourally identical and simpler.)
+        """
+        neighbors: dict[str, list[str]] = {
+            str(node): [str(h) for h in self.network.successors(node)]
+            for node in self.network.nodes()
+        }
+        for round_number in range(1, _MAX_FLOOD_ROUNDS + 1):
+            changed = False
+            snapshots = {
+                rid: router.lsdb.all_lsas() for rid, router in self.routers.items()
+            }
+            for rid, lsas in snapshots.items():
+                for neighbor_id in neighbors[rid]:
+                    receiver = self.routers[neighbor_id]
+                    for lsa in lsas:
+                        if receiver.receive(lsa):
+                            changed = True
+            if not changed:
+                self._converged = True
+                return round_number
+        raise OspfError("flooding did not converge (sequence churn?)")
+
+    def converge(self) -> None:
+        if not self._converged:
+            self.flood()
+
+    # -- failures -------------------------------------------------------------
+
+    def fail_link(self, tail: Node, head: Node) -> None:
+        """Take a (directed pair of) link(s) down and re-originate LSAs."""
+        for a, b in ((tail, head), (head, tail)):
+            if not self.network.has_edge(a, b):
+                continue
+            router = self.routers[str(a)]
+            current = {
+                str(n): self.weights[(a, n)]
+                for n in self.network.successors(a)
+                if (str(a), str(n)) != (str(a), str(b))
+            }
+            router.originate(current)
+        self._converged = False
+
+    # -- extraction -----------------------------------------------------------
+
+    def forwarding_dag(self, prefix: str) -> Dag:
+        """The forwarding DAG toward ``prefix`` induced by all FIBs."""
+        self.converge()
+        owner = self.prefix_owner(prefix)
+        edges: list[Edge] = []
+        for rid, router in self.routers.items():
+            if rid == owner:
+                continue
+            for hop in router.next_hops(prefix):
+                edges.append((self._node_of[rid], self._node_of[hop.neighbor]))
+        return Dag(self._node_of[owner], edges, self.network)
+
+    def splitting_ratios(self, prefix: str) -> dict[Edge, float]:
+        """Realized per-edge splitting fractions toward ``prefix``."""
+        self.converge()
+        owner = self.prefix_owner(prefix)
+        ratios: dict[Edge, float] = {}
+        for rid, router in self.routers.items():
+            if rid == owner:
+                continue
+            for neighbor, fraction in router.splitting_fractions(prefix).items():
+                ratios[(self._node_of[rid], self._node_of[neighbor])] = fraction
+        return ratios
+
+    def extract_routing(self, name: str = "OSPF") -> Routing:
+        """Full routing configuration over all advertised prefixes.
+
+        Prefix names map to destinations; when every router advertises a
+        loopback named after itself this is directly comparable to the
+        algorithmic :class:`Routing` objects.
+        """
+        self.converge()
+        dags: dict[Node, Dag] = {}
+        ratios: dict[Node, dict[Edge, float]] = {}
+        for prefix in self.prefixes():
+            owner_node = self._node_of[self.prefix_owner(prefix)]
+            dag = self.forwarding_dag(prefix)
+            dags[owner_node] = dag
+            ratios[owner_node] = self.splitting_ratios(prefix)
+        return Routing(dags, ratios, name=name)
+
+    def total_fake_lsas(self) -> int:
+        """Count of distinct fake LSAs present after convergence."""
+        self.converge()
+        any_router = next(iter(self.routers.values()))
+        return len(any_router.lsdb.fake_lsas())

@@ -1,0 +1,112 @@
+"""Link-state advertisements.
+
+Three LSA kinds cover what the reproduction needs:
+
+* :class:`RouterLsa` — a router's adjacencies and their OSPF costs
+  (type-1 LSA);
+* :class:`PrefixLsa` — a destination prefix advertised by a router
+  (collapsing OSPF's stub-network/external machinery into one record);
+* :class:`FakeNodeLsa` — a Fibbing lie: a virtual node attached to one
+  real router that advertises a prefix at a chosen cost and names the
+  *forwarding address* (the real neighbor that should receive the
+  traffic attracted by the lie).
+
+LSAs carry sequence numbers so the flooding logic can discard stale
+copies, mirroring the real protocol's freshness rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import OspfError
+
+
+@dataclass(frozen=True)
+class LsaLink:
+    """One adjacency inside a router LSA."""
+
+    neighbor: str
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise OspfError(f"OSPF link cost must be > 0, got {self.cost}")
+
+
+@dataclass(frozen=True)
+class RouterLsa:
+    """A router's view of its own adjacencies (type-1 LSA)."""
+
+    origin: str
+    links: tuple[LsaLink, ...]
+    sequence: int = 1
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return ("router", self.origin)
+
+
+@dataclass(frozen=True)
+class PrefixLsa:
+    """A destination prefix advertised by a real router.
+
+    Attributes:
+        prefix: the prefix name (e.g. ``"t"`` or ``"t1"``).
+        origin: the advertising router.
+        cost: metric from the origin to the prefix (0 for loopbacks).
+    """
+
+    prefix: str
+    origin: str
+    cost: float = 0.0
+    sequence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise OspfError(f"prefix cost must be >= 0, got {self.cost}")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return ("prefix", f"{self.prefix}@{self.origin}")
+
+
+@dataclass(frozen=True)
+class FakeNodeLsa:
+    """A Fibbing lie: fake node + virtual link + prefix advertisement.
+
+    The fake node ``fake_id`` appears attached to router ``attachment``
+    with cost ``attach_cost`` and advertises ``prefix`` at cost
+    ``prefix_cost``.  Traffic that ``attachment`` sends "toward the fake
+    node" is physically delivered to ``forwarding_neighbor`` (Fibbing's
+    forwarding-address mechanism), which must be a real neighbor of the
+    attachment router.
+    """
+
+    fake_id: str
+    attachment: str
+    forwarding_neighbor: str
+    prefix: str
+    attach_cost: float
+    prefix_cost: float
+    sequence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.attach_cost <= 0:
+            raise OspfError(f"fake attach cost must be > 0, got {self.attach_cost}")
+        if self.prefix_cost < 0:
+            raise OspfError(f"fake prefix cost must be >= 0, got {self.prefix_cost}")
+        if self.attachment == self.forwarding_neighbor:
+            raise OspfError("forwarding neighbor must differ from the attachment router")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return ("fake", self.fake_id)
+
+    @property
+    def route_cost(self) -> float:
+        """Cost of the lie's route as seen from the attachment router."""
+        return self.attach_cost + self.prefix_cost
+
+
+Lsa = RouterLsa | PrefixLsa | FakeNodeLsa

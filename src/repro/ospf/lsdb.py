@@ -1,0 +1,77 @@
+"""The link-state database and its freshness rule.
+
+Each router keeps an LSDB keyed by LSA identity; an incoming LSA
+replaces the stored copy only if its sequence number is strictly newer
+(the OSPF freshness rule, RFC 2328 section 13).  ``digest()`` gives a
+cheap convergence check: two routers agree exactly when their digests
+match.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import OspfError
+from repro.ospf.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
+
+
+class LinkStateDatabase:
+    """A set of freshest-known LSAs."""
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, str], Lsa] = {}
+
+    def install(self, lsa: Lsa) -> bool:
+        """Install ``lsa`` if newer than the stored copy; True if adopted."""
+        current = self._store.get(lsa.key)
+        if current is not None and current.sequence >= lsa.sequence:
+            return False
+        self._store[lsa.key] = lsa
+        return True
+
+    def remove(self, key: tuple[str, str]) -> None:
+        self._store.pop(key, None)
+
+    def get(self, key: tuple[str, str]) -> Lsa | None:
+        return self._store.get(key)
+
+    def router_lsas(self) -> list[RouterLsa]:
+        return [lsa for lsa in self._store.values() if isinstance(lsa, RouterLsa)]
+
+    def prefix_lsas(self) -> list[PrefixLsa]:
+        return [lsa for lsa in self._store.values() if isinstance(lsa, PrefixLsa)]
+
+    def fake_lsas(self) -> list[FakeNodeLsa]:
+        return [lsa for lsa in self._store.values() if isinstance(lsa, FakeNodeLsa)]
+
+    def all_lsas(self) -> list[Lsa]:
+        return list(self._store.values())
+
+    def prefixes(self) -> set[str]:
+        names = {lsa.prefix for lsa in self.prefix_lsas()}
+        names.update(lsa.prefix for lsa in self.fake_lsas())
+        return names
+
+    def digest(self) -> frozenset[tuple[tuple[str, str], int]]:
+        """Identity+sequence fingerprint used for convergence detection."""
+        return frozenset((key, lsa.sequence) for key, lsa in self._store.items())
+
+    def copy_from(self, lsas: Iterable[Lsa]) -> int:
+        """Bulk-install; returns how many LSAs were adopted."""
+        return sum(1 for lsa in lsas if self.install(lsa))
+
+    def validate(self) -> None:
+        """Sanity checks: fake nodes must attach to known routers."""
+        routers = {lsa.origin for lsa in self.router_lsas()}
+        for fake in self.fake_lsas():
+            if fake.attachment not in routers:
+                raise OspfError(
+                    f"fake node {fake.fake_id!r} attaches to unknown router "
+                    f"{fake.attachment!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Lsa]:
+        return iter(self._store.values())

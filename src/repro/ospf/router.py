@@ -1,0 +1,86 @@
+"""A simulated OSPF router: LSDB, flooding endpoint, FIB.
+
+Routers originate their own router LSA, re-flood every newer LSA they
+receive (reliable flooding), and rebuild their FIB from SPF whenever
+their database changes.  The FIB maps each known prefix to its ECMP
+next-hop set (with multiplicities from virtual links).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import OspfError
+from repro.ospf.lsa import Lsa, LsaLink, RouterLsa
+from repro.ospf.lsdb import LinkStateDatabase
+from repro.ospf.spf import NextHop, SpfCalculator, SpfGraph
+
+
+class Router:
+    """One OSPF speaker."""
+
+    def __init__(self, router_id: str):
+        self.router_id = router_id
+        self.lsdb = LinkStateDatabase()
+        self._fib: dict[str, list[NextHop]] | None = None
+        self._sequence = 0
+
+    # -- origination -----------------------------------------------------
+
+    def originate(self, links: dict[str, float]) -> RouterLsa:
+        """(Re-)announce this router's adjacencies; bumps the sequence."""
+        self._sequence += 1
+        lsa = RouterLsa(
+            origin=self.router_id,
+            links=tuple(LsaLink(neighbor, cost) for neighbor, cost in sorted(links.items())),
+            sequence=self._sequence,
+        )
+        self.lsdb.install(lsa)
+        self._fib = None
+        return lsa
+
+    # -- flooding ----------------------------------------------------------
+
+    def receive(self, lsa: Lsa) -> bool:
+        """Install if newer; True means the LSA must be re-flooded."""
+        adopted = self.lsdb.install(lsa)
+        if adopted:
+            self._fib = None
+        return adopted
+
+    def flush_routes(self) -> None:
+        """Force an SPF re-run on the next FIB access (e.g. after an LSA
+        was withdrawn directly from the database)."""
+        self._fib = None
+
+    # -- forwarding state ----------------------------------------------------
+
+    def build_fib(self) -> dict[str, list[NextHop]]:
+        """Run SPF over the current LSDB and install routes per prefix."""
+        calculator = SpfCalculator(SpfGraph(self.lsdb))
+        fib: dict[str, list[NextHop]] = {}
+        for prefix in sorted(self.lsdb.prefixes()):
+            hops = calculator.next_hops(self.router_id, prefix)
+            if hops:
+                fib[prefix] = hops
+        self._fib = fib
+        return fib
+
+    @property
+    def fib(self) -> dict[str, list[NextHop]]:
+        if self._fib is None:
+            self.build_fib()
+        assert self._fib is not None
+        return self._fib
+
+    def next_hops(self, prefix: str) -> list[NextHop]:
+        return self.fib.get(prefix, [])
+
+    def splitting_fractions(self, prefix: str) -> dict[str, float]:
+        """Neighbor -> realized ECMP fraction (multiplicity-weighted)."""
+        hops = self.next_hops(prefix)
+        total = sum(h.multiplicity for h in hops)
+        if total == 0:
+            return {}
+        return {h.neighbor: h.multiplicity / total for h in hops}
+
+    def __repr__(self) -> str:
+        return f"Router({self.router_id!r}, lsas={len(self.lsdb)})"

@@ -1,0 +1,170 @@
+"""Shortest-path-first computation over a link-state database.
+
+Every router independently runs Dijkstra over the topology described by
+its LSDB — real routers *and* fake nodes — then derives, per prefix, its
+ECMP next-hop set: the real neighbors (resolving fake nodes to their
+forwarding addresses) through which the minimum-cost route to the prefix
+passes.  A fake node injected with several parallel virtual links shows
+up as repeated next hops, which is exactly how [18] coaxes unequal
+splits out of ECMP's equal hashing.
+
+Route costs compare with a small relative tolerance, mirroring integer
+OSPF costs where equality is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import OspfError
+from repro.ospf.lsdb import LinkStateDatabase
+
+_COST_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One FIB entry component: a real neighbor and its multiplicity.
+
+    ECMP hashes uniformly over FIB entries; ``multiplicity`` counts how
+    many (virtual) entries point at this neighbor, so the realized
+    splitting fraction is ``multiplicity / total_entries``.
+    """
+
+    neighbor: str
+    multiplicity: int
+
+
+class SpfGraph:
+    """The Dijkstra-ready view of an LSDB."""
+
+    def __init__(self, lsdb: LinkStateDatabase):
+        lsdb.validate()
+        self.adjacency: dict[str, list[tuple[str, float]]] = {}
+        # Bidirectional adjacency check: OSPF only uses a link if both
+        # endpoints report it; we keep the simulator honest by requiring
+        # the reverse link to exist in the database.
+        declared: dict[str, dict[str, float]] = {}
+        for lsa in lsdb.router_lsas():
+            declared[lsa.origin] = {link.neighbor: link.cost for link in lsa.links}
+        for origin, links in declared.items():
+            usable = []
+            for neighbor, cost in links.items():
+                if neighbor in declared and origin in declared[neighbor]:
+                    usable.append((neighbor, cost))
+            self.adjacency[origin] = usable
+        # Prefix anchors: prefix -> [(advertiser, cost)].
+        self.prefix_routes: dict[str, list[tuple[str, float]]] = {}
+        for plsa in lsdb.prefix_lsas():
+            self.prefix_routes.setdefault(plsa.prefix, []).append(
+                (plsa.origin, plsa.cost)
+            )
+        # Fake nodes: attachment -> [fake LSAs]; they act as leaf nodes
+        # reachable only from their attachment router.
+        self.fakes_by_attachment: dict[str, list] = {}
+        for flsa in lsdb.fake_lsas():
+            self.fakes_by_attachment.setdefault(flsa.attachment, []).append(flsa)
+
+    def routers(self) -> list[str]:
+        return list(self.adjacency)
+
+
+def shortest_distances(graph: SpfGraph, root: str) -> dict[str, float]:
+    """Dijkstra over real routers from ``root`` (fake nodes are leaves)."""
+    if root not in graph.adjacency:
+        raise OspfError(f"unknown SPF root {root!r}")
+    dist = {router: math.inf for router in graph.adjacency}
+    dist[root] = 0.0
+    heap: list[tuple[float, int, str]] = [(0.0, 0, root)]
+    counter = 1
+    done: set[str] = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbor, cost in graph.adjacency[node]:
+            candidate = d + cost
+            if candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    return dist
+
+
+def prefix_route_cost(
+    graph: SpfGraph, dist: dict[str, float], root: str, prefix: str
+) -> float:
+    """Minimum cost from ``root`` to ``prefix`` over real and fake routes."""
+    best = math.inf
+    for advertiser, cost in graph.prefix_routes.get(prefix, ()):
+        best = min(best, dist.get(advertiser, math.inf) + cost)
+    for attachment, fakes in graph.fakes_by_attachment.items():
+        base = dist.get(attachment, math.inf)
+        for fake in fakes:
+            if fake.prefix == prefix:
+                best = min(best, base + fake.route_cost)
+    return best
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_COST_RTOL, abs_tol=1e-12)
+
+
+class SpfCalculator:
+    """SPF with an all-pairs distance cache shared across prefixes.
+
+    Real OSPF derives every destination's next hops from one SPF tree
+    per router; we get the same asymptotics by computing the distance
+    table of every router once per LSDB state and answering next-hop
+    queries from lookups.
+    """
+
+    def __init__(self, graph: SpfGraph):
+        self.graph = graph
+        self._dist: dict[str, dict[str, float]] = {}
+
+    def distances_from(self, router: str) -> dict[str, float]:
+        if router not in self._dist:
+            self._dist[router] = shortest_distances(self.graph, router)
+        return self._dist[router]
+
+    def route_cost(self, router: str, prefix: str) -> float:
+        """Best cost from ``router`` to ``prefix`` (fakes included)."""
+        return prefix_route_cost(self.graph, self.distances_from(router), router, prefix)
+
+    def next_hops(self, root: str, prefix: str) -> list[NextHop]:
+        """The ECMP next-hop set of ``root`` for ``prefix``.
+
+        A neighbor qualifies when some minimum-cost route leaves ``root``
+        through it.  Three route shapes exist:
+
+        * via a real neighbor ``n``: ``cost(root, n) + best_cost_from(n)``;
+        * via a local fake node: ``fake.route_cost`` (resolved to the
+          fake's forwarding neighbor, once per virtual link);
+        * the root itself advertises the prefix: traffic is delivered
+          locally, no next hop.
+        """
+        graph = self.graph
+        best = self.route_cost(root, prefix)
+        if math.isinf(best):
+            return []
+        for advertiser, cost in graph.prefix_routes.get(prefix, ()):
+            if advertiser == root and _close(cost, best):
+                return []
+        hops: dict[str, int] = {}
+        for neighbor, link_cost in graph.adjacency[root]:
+            via = link_cost + self.route_cost(neighbor, prefix)
+            if _close(via, best):
+                hops[neighbor] = hops.get(neighbor, 0) + 1
+        for fake in graph.fakes_by_attachment.get(root, ()):
+            if fake.prefix == prefix and _close(fake.route_cost, best):
+                hops[fake.forwarding_neighbor] = hops.get(fake.forwarding_neighbor, 0) + 1
+        return [NextHop(neighbor, count) for neighbor, count in sorted(hops.items())]
+
+
+def compute_next_hops(graph: SpfGraph, root: str, prefix: str) -> list[NextHop]:
+    """One-shot convenience wrapper around :class:`SpfCalculator`."""
+    return SpfCalculator(graph).next_hops(root, prefix)

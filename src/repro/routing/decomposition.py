@@ -1,0 +1,98 @@
+"""Flow-to-path decomposition of a destination-based routing.
+
+A routing's per-pair behaviour is a distribution over DAG paths: each
+(source, destination) pair's traffic splits across the paths of the
+destination DAG with probability equal to the product of the splitting
+ratios along the path.  Enumerating that distribution powers:
+
+* human-readable inspection ("where does Seattle->Atlanta actually go,
+  and with what weights?");
+* exact expected-path-length computation (cross-checked against the
+  dynamic-programming version in :mod:`repro.graph.paths`);
+* MPLS-style tunnel sets — the deployment alternative COYOTE avoids,
+  useful for quantifying how many tunnels a routing would have needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import RoutingError
+from repro.graph.network import Node
+from repro.routing.splitting import Routing
+
+#: Paths with probability below this are pruned from enumerations.
+DEFAULT_CUTOFF = 1e-9
+
+
+@dataclass(frozen=True)
+class WeightedPath:
+    """One forwarding path and the fraction of traffic using it."""
+
+    nodes: tuple[Node, ...]
+    fraction: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+
+def paths_for_pair(
+    routing: Routing,
+    source: Node,
+    target: Node,
+    cutoff: float = DEFAULT_CUTOFF,
+) -> list[WeightedPath]:
+    """All paths carrying (source -> target) traffic, heaviest first.
+
+    Raises:
+        RoutingError: when the routing has no DAG for the target or the
+            source is not part of it.
+    """
+    dag = routing.dags.get(target)
+    if dag is None:
+        raise RoutingError(f"no DAG for destination {target!r}")
+    if not dag.has_node(source):
+        raise RoutingError(f"{source!r} not in the DAG rooted at {target!r}")
+    ratios = routing.ratios.get(target, {})
+
+    def walk(node: Node, probability: float, prefix: tuple) -> Iterator[WeightedPath]:
+        if node == target:
+            yield WeightedPath(prefix + (node,), probability)
+            return
+        for head in dag.out_neighbors(node):
+            fraction = ratios.get((node, head), 0.0)
+            branch = probability * fraction
+            if branch > cutoff:
+                yield from walk(head, branch, prefix + (node,))
+
+    paths = sorted(walk(source, 1.0, ()), key=lambda p: p.fraction, reverse=True)
+    return paths
+
+
+def path_count(routing: Routing, cutoff: float = DEFAULT_CUTOFF) -> int:
+    """Total number of used paths across all pairs — the tunnel count an
+    MPLS realization of the same routing would require."""
+    total = 0
+    for target, dag in routing.dags.items():
+        for source in dag.nodes():
+            if source == target:
+                continue
+            total += len(paths_for_pair(routing, source, target, cutoff))
+    return total
+
+
+def expected_hops_via_paths(
+    routing: Routing, source: Node, target: Node
+) -> float:
+    """Expected hop count computed from the explicit path distribution.
+
+    Mathematically identical to :meth:`Routing.expected_hops`; having
+    both lets the test suite cross-check the DP against enumeration.
+    """
+    paths = paths_for_pair(routing, source, target, cutoff=0.0)
+    total_fraction = sum(p.fraction for p in paths)
+    if total_fraction <= 0:
+        raise RoutingError(f"no paths from {source!r} to {target!r}")
+    return sum(p.fraction * p.hops for p in paths) / total_fraction

@@ -1,0 +1,236 @@
+"""Network generators: paper gadgets and synthetic backbones.
+
+Paper-specific instances:
+
+* :func:`running_example_network` — Fig. 1 (and the Appendix B variant
+  with infinite side-link capacities);
+* :func:`prototype_network` — Fig. 12a, the mininet triangle;
+* :func:`integer_gadget_network` — the INTEGER gadget / BIPARTITION
+  reduction of Theorem 1 (Figs. 2-3);
+* :func:`path_sink_network` — the Omega(|V|) lower-bound instance of
+  Theorem 4 (Fig. 4).
+
+Synthetic backbones (:func:`ring_with_chords`, :func:`tree_with_chords`)
+stand in for Topology Zoo graphs whose exact link lists we do not embed;
+they are deterministic given a seed and match the published node/link
+counts (see ``repro.topologies.zoo``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import TopologyError
+from repro.graph.network import INFINITE_CAPACITY, Network
+from repro.utils.seeding import rng_from_seed
+
+#: Stand-in for "arbitrarily high" capacity that keeps LPs bounded: any
+#: value far above total achievable demand behaves as infinite but still
+#: appears in capacity constraints.
+LARGE_CAPACITY = 1e6
+
+
+def running_example_network(infinite_side_links: bool = False) -> Network:
+    """The 4-node example of Fig. 1 (s1, s2, v, t; unit capacities).
+
+    Args:
+        infinite_side_links: when True, links (s1,s2), (s1,v), (s2,v) get
+            effectively infinite capacity — the Section V-C / Appendix B
+            variant whose optimal oblivious splitting is the inverse
+            golden ratio (worst-case utilization ``sqrt(5) - 1``).
+    """
+    side = LARGE_CAPACITY if infinite_side_links else 1.0
+    return Network.from_undirected(
+        [
+            ("s1", "s2", side),
+            ("s1", "v", side),
+            ("s2", "v", side),
+            ("s2", "t", 1.0),
+            ("v", "t", 1.0),
+        ],
+        name="running-example",
+    )
+
+
+def prototype_network(bandwidth: float = 1.0) -> Network:
+    """Fig. 12a: the triangle used by the prototype evaluation.
+
+    Nodes s1, s2 and target t, every link of equal ``bandwidth``
+    (1 Mbps in the paper's mininet run).
+    """
+    return Network.from_undirected(
+        [
+            ("s1", "s2", bandwidth),
+            ("s1", "t", bandwidth),
+            ("s2", "t", bandwidth),
+        ],
+        name="prototype-triangle",
+    )
+
+
+def integer_gadget_network(weights: Sequence[int]) -> Network:
+    """The BIPARTITION reduction instance of Theorem 1 (Figs. 2-3).
+
+    For each integer ``w_i`` an INTEGER gadget with vertices
+    ``x1_i, x2_i, m_i`` is created: bidirectional edges
+    (x1_i, x2_i), (x1_i, m_i), (x2_i, m_i) of capacity ``w_i``, plus
+    directed edges (s1, x1_i) and (s2, x2_i) of capacity ``2 * w_i`` and
+    (m_i, t) of capacity ``2 * w_i``.
+    """
+    if not weights:
+        raise TopologyError("integer gadget needs at least one weight")
+    if any(w <= 0 for w in weights):
+        raise TopologyError("integer gadget weights must be positive")
+    net = Network(name=f"integer-gadget-{len(weights)}")
+    for i, w in enumerate(weights):
+        x1, x2, mid = f"x1_{i}", f"x2_{i}", f"m_{i}"
+        for u, v in ((x1, x2), (x1, mid), (x2, mid)):
+            net.add_edge(u, v, float(w))
+            net.add_edge(v, u, float(w))
+        net.add_edge("s1", x1, 2.0 * w)
+        net.add_edge("s2", x2, 2.0 * w)
+        net.add_edge(mid, "t", 2.0 * w)
+    return net
+
+
+def path_sink_network(length: int) -> Network:
+    """Theorem 4's instance: an n-path with per-node unit links to a sink.
+
+    Path nodes ``x1..xn`` are joined by bidirectional infinite-capacity
+    edges; each ``xi`` has a directed capacity-1 edge to the target
+    ``t``.  Any *oblivious* per-destination routing must route some
+    ``xi``'s traffic entirely over ``(xi, t)`` (else the path edges would
+    form a forwarding loop), so its ratio is Omega(n).
+    """
+    if length < 2:
+        raise TopologyError(f"path instance needs length >= 2, got {length}")
+    net = Network(name=f"path-sink-{length}")
+    nodes = [f"x{i}" for i in range(1, length + 1)]
+    for left, right in zip(nodes, nodes[1:]):
+        net.add_edge(left, right, LARGE_CAPACITY)
+        net.add_edge(right, left, LARGE_CAPACITY)
+    for node in nodes:
+        net.add_edge(node, "t", 1.0)
+    return net
+
+
+def ring_network(size: int, capacity: float = 1.0) -> Network:
+    """A bidirectional ring (smallest 2-connected test topology)."""
+    if size < 3:
+        raise TopologyError(f"ring needs >= 3 nodes, got {size}")
+    links = [(f"n{i}", f"n{(i + 1) % size}", capacity) for i in range(size)]
+    return Network.from_undirected(links, name=f"ring-{size}")
+
+
+def grid_network(rows: int, cols: int, capacity: float = 1.0) -> Network:
+    """A rows x cols grid with bidirectional unit links."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid needs >= 2 nodes, got {rows}x{cols}")
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                links.append((f"g{r}_{c}", f"g{r}_{c + 1}", capacity))
+            if r + 1 < rows:
+                links.append((f"g{r}_{c}", f"g{r + 1}_{c}", capacity))
+    return Network.from_undirected(links, name=f"grid-{rows}x{cols}")
+
+
+def _draw_capacity(rng, choices: Sequence[float]) -> float:
+    """Backbone-like capacity mix: big pipes more common in the core."""
+    weights = [0.5, 0.3, 0.2][: len(choices)]
+    total = sum(weights)
+    pick = rng.random() * total
+    cumulative = 0.0
+    for choice, weight in zip(choices, weights):
+        cumulative += weight
+        if pick <= cumulative:
+            return choice
+    return choices[-1]
+
+
+def ring_with_chords(
+    name: str,
+    num_nodes: int,
+    num_links: int,
+    seed: int,
+    capacities: Sequence[float] = (10.0, 2.5, 1.0),
+) -> Network:
+    """A 2-connected backbone: a ring plus random chords up to ``num_links``.
+
+    Deterministic for a given (name, seed).  Chord endpoints are drawn
+    with mild degree bias (preferential attachment), giving the skewed
+    degree distributions typical of ISP backbones.
+    """
+    if num_nodes < 3:
+        raise TopologyError(f"backbone needs >= 3 nodes, got {num_nodes}")
+    if num_links < num_nodes:
+        raise TopologyError(
+            f"backbone {name!r}: num_links ({num_links}) below ring size ({num_nodes})"
+        )
+    rng = rng_from_seed(seed, "ring-with-chords", name, num_nodes, num_links)
+    nodes = [f"{name}{i}" for i in range(num_nodes)]
+    links: list[tuple[str, str, float]] = []
+    present: set[frozenset] = set()
+    for i in range(num_nodes):
+        u, v = nodes[i], nodes[(i + 1) % num_nodes]
+        links.append((u, v, _draw_capacity(rng, capacities)))
+        present.add(frozenset((u, v)))
+    degree = {node: 2 for node in nodes}
+    attempts = 0
+    while len(links) < num_links and attempts < 100 * num_links:
+        attempts += 1
+        u = nodes[int(rng.integers(num_nodes))]
+        weights = [degree[n] for n in nodes]
+        weights[nodes.index(u)] = 0
+        total = sum(weights)
+        pick = rng.random() * total
+        cumulative, v = 0.0, nodes[0]
+        for node, weight in zip(nodes, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                v = node
+                break
+        if u == v or frozenset((u, v)) in present:
+            continue
+        links.append((u, v, _draw_capacity(rng, capacities)))
+        present.add(frozenset((u, v)))
+        degree[u] += 1
+        degree[v] += 1
+    return Network.from_undirected(links, name=name)
+
+
+def tree_with_chords(
+    name: str,
+    num_nodes: int,
+    num_chords: int,
+    seed: int,
+    capacities: Sequence[float] = (2.5, 1.0, 0.622),
+) -> Network:
+    """A random tree plus a few chords — the "almost a tree" topologies.
+
+    BBNPlanet and Gambia are excluded from Table I precisely because they
+    are nearly trees; this generator reproduces that structure.
+    """
+    if num_nodes < 2:
+        raise TopologyError(f"tree needs >= 2 nodes, got {num_nodes}")
+    rng = rng_from_seed(seed, "tree-with-chords", name, num_nodes, num_chords)
+    nodes = [f"{name}{i}" for i in range(num_nodes)]
+    links: list[tuple[str, str, float]] = []
+    present: set[frozenset] = set()
+    for i in range(1, num_nodes):
+        parent = nodes[int(rng.integers(i))]
+        links.append((parent, nodes[i], _draw_capacity(rng, capacities)))
+        present.add(frozenset((parent, nodes[i])))
+    added, attempts = 0, 0
+    while added < num_chords and attempts < 100 * (num_chords + 1):
+        attempts += 1
+        u = nodes[int(rng.integers(num_nodes))]
+        v = nodes[int(rng.integers(num_nodes))]
+        if u == v or frozenset((u, v)) in present:
+            continue
+        links.append((u, v, _draw_capacity(rng, capacities)))
+        present.add(frozenset((u, v)))
+        added += 1
+    return Network.from_undirected(links, name=name)

@@ -1,0 +1,321 @@
+"""The 16 evaluation backbones (Internet Topology Zoo equivalents).
+
+The paper evaluates COYOTE on 16 ITZ backbones.  Networks whose
+structure is thoroughly documented in the literature are hand-coded here
+(Abilene, NSFNET, GEANT, InternetMCI); the remainder are deterministic
+synthetic equivalents with the published node/link counts and
+backbone-like degree/capacity distributions (see DESIGN.md's
+substitution table).  Capacities follow the paper's convention: link
+capacities where "known" (hand-coded entries carry Gbps figures),
+otherwise a backbone-like {10, 2.5, 1} Gbps mix.
+
+Every topology is validated to be strongly connected at load time —
+all-pairs TE requires it (the paper drops BBNPlanet and Gambia from
+Table I for being nearly trees; we keep them loadable for the stretch
+experiment of Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import TopologyError
+from repro.graph.network import Network
+from repro.topologies.generators import ring_with_chords, tree_with_chords
+
+_SEED = 20161101  # shared base seed; generators scope it per name
+
+
+def _abilene() -> Network:
+    """Abilene (Internet2), 11 PoPs / 14 links, all 10 Gbps."""
+    c = 10.0
+    return Network.from_undirected(
+        [
+            ("Seattle", "Sunnyvale", c),
+            ("Seattle", "Denver", c),
+            ("Sunnyvale", "LosAngeles", c),
+            ("Sunnyvale", "Denver", c),
+            ("LosAngeles", "Houston", c),
+            ("Denver", "KansasCity", c),
+            ("KansasCity", "Houston", c),
+            ("KansasCity", "Indianapolis", c),
+            ("Houston", "Atlanta", c),
+            ("Indianapolis", "Atlanta", c),
+            ("Indianapolis", "Chicago", c),
+            ("Chicago", "NewYork", c),
+            ("Atlanta", "Washington", c),
+            ("NewYork", "Washington", c),
+        ],
+        name="abilene",
+    )
+
+
+def _nsf() -> Network:
+    """NSFNET T1 backbone, 14 nodes / 21 links (unit-ish capacities)."""
+    c = 1.0
+    nodes = [
+        "WA", "CA1", "CA2", "UT", "CO", "TX", "NE",
+        "IL", "PA", "GA", "MI", "NY", "NJ", "DC",
+    ]
+    index_links = [
+        (0, 1), (0, 2), (0, 7),
+        (1, 2), (1, 3),
+        (2, 5),
+        (3, 4), (3, 10),
+        (4, 5), (4, 6),
+        (5, 9), (5, 13),
+        (6, 7),
+        (7, 8),
+        (8, 9), (8, 11), (8, 12),
+        (10, 11), (10, 13),
+        (11, 12),
+        (12, 13),
+    ]
+    return Network.from_undirected(
+        [(nodes[i], nodes[j], c) for i, j in index_links], name="nsf"
+    )
+
+
+def _geant() -> Network:
+    """GEANT (circa 2004), 22 nodes / 36 links, 10 / 2.5 / 0.622 Gbps mix.
+
+    Hand-coded approximation of the published pan-European layout: a
+    high-capacity core (UK-NL-DE-FR-IT-CH) with regional attachments.
+    """
+    big, mid, small = 10.0, 2.5, 0.622
+    return Network.from_undirected(
+        [
+            ("UK", "NL", big),
+            ("UK", "FR", big),
+            ("UK", "US", big),
+            ("UK", "IE", mid),
+            ("NL", "DE", big),
+            ("NL", "BE", mid),
+            ("NL", "US", big),
+            ("DE", "FR", big),
+            ("DE", "CH", big),
+            ("DE", "AT", big),
+            ("DE", "PL", mid),
+            ("DE", "CZ", mid),
+            ("DE", "SE", mid),
+            ("DE", "IL", mid),
+            ("FR", "CH", big),
+            ("FR", "ES", mid),
+            ("FR", "BE", mid),
+            ("FR", "LU", small),
+            ("CH", "IT", big),
+            ("CH", "AT", mid),
+            ("IT", "AT", mid),
+            ("IT", "GR", mid),
+            ("IT", "ES", mid),
+            ("IT", "IL", mid),
+            ("AT", "HU", mid),
+            ("AT", "SI", small),
+            ("AT", "SK", small),
+            ("AT", "CZ", mid),
+            ("HU", "HR", small),
+            ("HU", "SK", small),
+            ("SI", "HR", small),
+            ("PL", "CZ", mid),
+            ("SE", "PL", mid),
+            ("ES", "PT", mid),
+            ("PT", "UK", mid),
+            ("GR", "DE", mid),
+        ],
+        name="geant",
+    )
+
+
+def _internetmci() -> Network:
+    """InternetMCI, 19 nodes / 33 links (ITZ sizes), 2.5 Gbps-class core."""
+    c, a = 2.5, 1.0
+    return Network.from_undirected(
+        [
+            ("Seattle", "SanFrancisco", c),
+            ("Seattle", "Chicago", c),
+            ("SanFrancisco", "LosAngeles", c),
+            ("SanFrancisco", "Denver", c),
+            ("SanFrancisco", "Chicago", c),
+            ("SanFrancisco", "DC", c),
+            ("LosAngeles", "Phoenix", a),
+            ("LosAngeles", "Dallas", c),
+            ("Phoenix", "Dallas", a),
+            ("Denver", "KansasCity", a),
+            ("Dallas", "Houston", c),
+            ("Dallas", "Atlanta", c),
+            ("Dallas", "Chicago", c),
+            ("Houston", "NewOrleans", a),
+            ("NewOrleans", "Atlanta", a),
+            ("KansasCity", "Chicago", a),
+            ("Chicago", "Cleveland", c),
+            ("Chicago", "NewYork", c),
+            ("Chicago", "StLouis", a),
+            ("StLouis", "Atlanta", a),
+            ("Cleveland", "NewYork", c),
+            ("Cleveland", "Detroit", a),
+            ("Detroit", "Chicago", a),
+            ("Atlanta", "DC", c),
+            ("Atlanta", "Miami", a),
+            ("Miami", "DC", a),
+            ("DC", "NewYork", c),
+            ("DC", "Philadelphia", a),
+            ("Philadelphia", "NewYork", a),
+            ("NewYork", "Boston", c),
+            ("Boston", "Chicago", c),
+            ("Atlanta", "Houston", a),
+            ("Denver", "Dallas", a),
+        ],
+        name="internetmci",
+    )
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Registry entry for one evaluation topology.
+
+    Attributes:
+        name: canonical lowercase identifier.
+        paper_label: how the paper's tables/figures refer to it.
+        kind: "hand-coded" or "synthetic".
+        nodes: node count (published ITZ-equivalent size).
+        links: undirected link count.
+        note: provenance / substitution documentation.
+        builder: zero-argument constructor returning the Network.
+    """
+
+    name: str
+    paper_label: str
+    kind: str
+    nodes: int
+    links: int
+    note: str
+    builder: Callable[[], Network]
+
+
+def _synthetic(name: str, label: str, nodes: int, links: int, note: str) -> TopologySpec:
+    return TopologySpec(
+        name=name,
+        paper_label=label,
+        kind="synthetic",
+        nodes=nodes,
+        links=links,
+        note=note,
+        builder=lambda: ring_with_chords(name, nodes, links, _SEED),
+    )
+
+
+def _tree_like(name: str, label: str, nodes: int, chords: int, note: str) -> TopologySpec:
+    return TopologySpec(
+        name=name,
+        paper_label=label,
+        kind="synthetic",
+        nodes=nodes,
+        links=nodes - 1 + chords,
+        note=note,
+        builder=lambda: tree_with_chords(name, nodes, chords, _SEED),
+    )
+
+
+_SPECS: list[TopologySpec] = [
+    TopologySpec(
+        "abilene", "abilene cost", "hand-coded", 11, 14,
+        "Internet2 Abilene, published PoP/link list, uniform 10G.", _abilene,
+    ),
+    TopologySpec(
+        "nsf", "NSF cost", "hand-coded", 14, 21,
+        "Classic NSFNET T1 backbone (14/21).", _nsf,
+    ),
+    TopologySpec(
+        "geant", "Geant", "hand-coded", 22, 36,
+        "GEANT 2004 approximation; capacity tiers 10/2.5/0.622G.", _geant,
+    ),
+    TopologySpec(
+        "internetmci", "Internetmci", "hand-coded", 19, 33,
+        "InternetMCI at ITZ-published size (19/33).", _internetmci,
+    ),
+    _synthetic(
+        "as1221", "1221", 25, 45,
+        "Rocketfuel AS1221 (Telstra) reduced backbone equivalent.",
+    ),
+    _synthetic(
+        "as1755", "1755", 23, 38,
+        "Rocketfuel AS1755 (Ebone) reduced backbone equivalent (23 PoPs).",
+    ),
+    _synthetic(
+        "as3257", "3257", 27, 50,
+        "Rocketfuel AS3257 (Tiscali) reduced backbone equivalent.",
+    ),
+    _synthetic(
+        "att", "atnt cost", 25, 42,
+        "AT&T IP backbone equivalent.",
+    ),
+    _synthetic(
+        "bics", "BICS", 24, 38,
+        "BICS pan-European backbone equivalent.",
+    ),
+    _synthetic(
+        "bteurope", "BtEurope", 22, 37,
+        "BT Europe backbone equivalent.",
+    ),
+    _synthetic(
+        "digex", "Digex", 20, 26,
+        "Digex backbone equivalent (sparse).",
+    ),
+    _synthetic(
+        "germany", "Germany cost", 17, 26,
+        "Germany research network (17-node variant) equivalent.",
+    ),
+    _synthetic(
+        "grnet", "GRNet", 18, 23,
+        "GRNet (Greece) backbone equivalent (sparse).",
+    ),
+    _synthetic(
+        "italy", "Italy cost", 20, 32,
+        "Italian research network equivalent.",
+    ),
+    _tree_like(
+        "bbnplanet", "BBNPlanet", 20, 2,
+        "BBNPlanet is nearly a tree; excluded from Table I as in the paper.",
+    ),
+    _tree_like(
+        "gambia", "Gambia", 10, 1,
+        "Gambia is nearly a tree; excluded from Table I as in the paper.",
+    ),
+]
+
+_REGISTRY: dict[str, TopologySpec] = {spec.name: spec for spec in _SPECS}
+
+#: Topologies included in Table I (all but the two near-trees).
+TABLE1_TOPOLOGIES: tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if spec.name not in ("bbnplanet", "gambia")
+)
+
+#: Topologies in the Fig. 11 stretch experiment (all but Gambia).
+STRETCH_TOPOLOGIES: tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if spec.name != "gambia"
+)
+
+
+def available_topologies() -> list[str]:
+    """Canonical names of every registered topology."""
+    return [spec.name for spec in _SPECS]
+
+
+def topology_info(name: str) -> TopologySpec:
+    """Registry metadata for ``name`` (case-insensitive)."""
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        )
+    return spec
+
+
+def load_topology(name: str) -> Network:
+    """Build the named topology and validate strong connectivity."""
+    spec = topology_info(name)
+    network = spec.builder()
+    if not network.is_strongly_connected():
+        raise TopologyError(f"topology {name!r} is not strongly connected")
+    return network

@@ -1,0 +1,112 @@
+"""Lightweight tabular results container used by the experiment drivers.
+
+The paper reports results as tables (Table I) and line plots (Figs. 6-12).
+Without a plotting stack we emit the same data as text tables; each
+experiment driver returns a :class:`Table` whose rows are exactly the
+series the paper plots, so EXPERIMENTS.md can juxtapose paper-vs-measured
+values.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """An ordered list of homogeneous rows with named columns.
+
+    Attributes:
+        title: human-readable experiment name (e.g. "Fig. 6 Geant gravity").
+        columns: column names, in display order.
+        rows: list of row tuples aligned with ``columns``.
+        notes: free-form annotations (parameters, reduced-grid warnings).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; lengths must match the declared columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table {self.title!r} "
+                f"declares {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """Return one column as a list (raises ValueError for unknown names)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ValueError(f"table {self.title!r} has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def sorted_by(self, name: str) -> "Table":
+        """A copy of the table with rows sorted by the given column."""
+        index = list(self.columns).index(name)
+        clone = Table(self.title, list(self.columns), notes=list(self.notes))
+        clone.rows = sorted(self.rows, key=lambda row: row[index])
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return format_markdown(self)
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_markdown(table: Table) -> str:
+    """Render a :class:`Table` as GitHub-flavoured markdown."""
+    out = io.StringIO()
+    out.write(f"### {table.title}\n\n")
+    header = " | ".join(table.columns)
+    out.write(f"| {header} |\n")
+    out.write("|" + "|".join(" --- " for _ in table.columns) + "|\n")
+    for row in table.rows:
+        out.write("| " + " | ".join(_render_cell(v) for v in row) + " |\n")
+    for note in table.notes:
+        out.write(f"\n> {note}\n")
+    return out.getvalue()
+
+
+def format_csv(table: Table) -> str:
+    """Render a :class:`Table` as CSV (no quoting; values are simple)."""
+    lines = [",".join(table.columns)]
+    for row in table.rows:
+        lines.append(",".join(_render_cell(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def merge_tables(title: str, tables: Iterable[Table], key_column: str) -> Table:
+    """Concatenate tables that share a schema, tagging rows by source title.
+
+    Used by the Table-I driver to stack per-topology blocks into the big
+    comparison table.
+    """
+    tables = list(tables)
+    if not tables:
+        raise ValueError("merge_tables needs at least one table")
+    columns = ["source", *tables[0].columns]
+    merged = Table(title, columns)
+    for tab in tables:
+        if list(tab.columns) != list(tables[0].columns):
+            raise ValueError("merge_tables requires identical schemas")
+        for row in tab.rows:
+            merged.add_row(tab.title, *row)
+        merged.notes.extend(tab.notes)
+    return merged.sorted_by(key_column) if key_column in columns else merged

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.topologies.generators import running_example_network
+from repro.topologies.zoo import load_topology
+
+
+@pytest.fixture
+def diamond() -> Network:
+    """A 4-node diamond: a -> {b, c} -> d, plus reverse edges."""
+    return Network.from_undirected(
+        [("a", "b", 2.0), ("a", "c", 1.0), ("b", "d", 2.0), ("c", "d", 1.0)],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def triangle() -> Network:
+    """A 3-node unit-capacity triangle."""
+    return Network.from_undirected(
+        [("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 1.0)], name="triangle"
+    )
+
+
+@pytest.fixture
+def running_example() -> Network:
+    """Fig. 1's network with unit capacities."""
+    return running_example_network()
+
+
+@pytest.fixture
+def example_dag(running_example) -> Dag:
+    """The Fig. 1b-1d forwarding DAG toward t."""
+    return Dag(
+        "t",
+        [("s1", "s2"), ("s1", "v"), ("s2", "t"), ("s2", "v"), ("v", "t")],
+        running_example,
+    )
+
+
+@pytest.fixture
+def abilene() -> Network:
+    return load_topology("abilene")
+
+
+@pytest.fixture
+def nsf() -> Network:
+    return load_topology("nsf")
+
+
+@pytest.fixture
+def two_user_demands() -> list[DemandMatrix]:
+    """The extreme demand matrices of the running example."""
+    return [
+        DemandMatrix({("s1", "t"): 2.0}),
+        DemandMatrix({("s2", "t"): 2.0}),
+    ]

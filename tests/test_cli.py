@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_topo_listing(self, capsys):
+        assert main(["topo"]) == 0
+        out = capsys.readouterr().out
+        assert "abilene" in out and "geant" in out
+
+    def test_topo_detail(self, capsys):
+        assert main(["topo", "abilene"]) == 0
+        out = capsys.readouterr().out
+        assert "11" in out and "hand-coded" in out
+
+    def test_topo_unknown_errors(self, capsys):
+        assert main(["topo", "nonexistent"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig99"])
+
+    def test_run_fast_experiment(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        assert main(["run", "thm4", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out
+        content = csv_path.read_text()
+        assert content.startswith("n,")
+
+    def test_run_fig12(self, capsys):
+        assert main(["run", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "COYOTE" in out

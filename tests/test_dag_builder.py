@@ -1,0 +1,94 @@
+"""Tests for Step I+II DAG construction (Section V-B)."""
+
+import pytest
+
+from repro.core.dag_builder import augment_dag, build_dags, reverse_capacity_dags
+from repro.ecmp.weights import inverse_capacity_weights, unit_weights
+from repro.exceptions import GraphError
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.graph.paths import dijkstra_to_target, shortest_path_dag
+
+
+class TestAugmentation:
+    def test_running_example_gains_s2v_link(self, running_example):
+        # Section V-B: the SP DAG toward t omits (s2, v) with unit
+        # weights; augmentation orients and adds it.
+        weights = unit_weights(running_example)
+        sp = shortest_path_dag(running_example, weights, "t")
+        assert not sp.has_edge("s2", "v") and not sp.has_edge("v", "s2")
+        distances = dijkstra_to_target(running_example, weights, "t")
+        augmented = augment_dag(running_example, sp, distances)
+        assert augmented.has_edge("s2", "v") or augmented.has_edge("v", "s2")
+
+    def test_augmented_contains_sp_dag(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        for target in list(abilene.nodes())[:5]:
+            sp = shortest_path_dag(abilene, weights, target)
+            distances = dijkstra_to_target(abilene, weights, target)
+            augmented = augment_dag(abilene, sp, distances)
+            assert augmented.contains_dag(sp)
+
+    def test_augmented_is_acyclic(self, abilene):
+        # Dag construction itself raises on cycles; build all of them.
+        dags = build_dags(abilene, unit_weights(abilene), augment=True)
+        assert len(dags) == abilene.num_nodes
+
+    def test_orientation_toward_destination(self, diamond):
+        weights = unit_weights(diamond)
+        weights[("a", "c")] = 3.0
+        weights[("c", "a")] = 3.0
+        sp = shortest_path_dag(diamond, weights, "d")
+        distances = dijkstra_to_target(diamond, weights, "d")
+        augmented = augment_dag(diamond, sp, distances)
+        # (a, c): dist(a)=2, dist(c)=1, so the link points a -> c.
+        assert augmented.has_edge("a", "c")
+        assert not augmented.has_edge("c", "a")
+
+    def test_tie_broken_lexicographically(self):
+        # b and c are equidistant from t; their link orients c -> b.
+        net = Network.from_undirected(
+            [("b", "t", 1.0), ("c", "t", 1.0), ("b", "c", 1.0)]
+        )
+        weights = {e: 1.0 for e in net.edges()}
+        sp = shortest_path_dag(net, weights, "t")
+        distances = dijkstra_to_target(net, weights, "t")
+        augmented = augment_dag(net, sp, distances)
+        assert augmented.has_edge("c", "b")
+        assert not augmented.has_edge("b", "c")
+
+    def test_augmentation_covers_every_link(self, abilene):
+        weights = unit_weights(abilene)
+        dags = build_dags(abilene, weights, augment=True)
+        links = {frozenset(e) for e in abilene.edges()}
+        for dag in dags.values():
+            dag_links = {frozenset(e) for e in dag.edges()}
+            missing = links - dag_links
+            # Only links incident to the root may be unusable (the root
+            # never forwards on them).
+            for link in missing:
+                assert dag.root in link
+
+    def test_more_splittable_nodes_after_augmentation(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        plain = build_dags(abilene, weights, augment=False)
+        augmented = build_dags(abilene, weights, augment=True)
+        plain_count = sum(len(d.splittable_nodes()) for d in plain.values())
+        augmented_count = sum(len(d.splittable_nodes()) for d in augmented.values())
+        assert augmented_count > plain_count
+
+
+class TestBuildDags:
+    def test_unreachable_destination_raises(self):
+        net = Network.from_edges([("a", "b", 1.0), ("c", "b", 1.0)])
+        with pytest.raises(GraphError, match="cannot reach"):
+            build_dags(net, {e: 1.0 for e in net.edges()}, destinations=["c"])
+
+    def test_reverse_capacity_dags_entrypoint(self, abilene):
+        dags, weights = reverse_capacity_dags(abilene)
+        assert set(dags) == set(abilene.nodes())
+        assert set(weights) == set(abilene.edges())
+
+    def test_subset_of_destinations(self, abilene):
+        dags = build_dags(abilene, unit_weights(abilene), destinations=["Denver"])
+        assert list(dags) == ["Denver"]

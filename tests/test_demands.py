@@ -1,0 +1,185 @@
+"""Tests for demand matrices, demand models, and uncertainty sets."""
+
+import math
+
+import pytest
+
+from repro.demands.bimodal import bimodal_matrix
+from repro.demands.gravity import gravity_matrix
+from repro.demands.matrix import DemandMatrix
+from repro.demands.uncertainty import (
+    margin_box,
+    oblivious_pairs,
+    oblivious_set,
+    representative_matrix,
+    single_matrix_set,
+)
+from repro.exceptions import DemandError
+
+
+class TestDemandMatrix:
+    def test_basic_access(self):
+        dm = DemandMatrix({("a", "b"): 2.0, ("b", "c"): 1.0})
+        assert dm.get("a", "b") == 2.0
+        assert dm.get("c", "a") == 0.0
+        assert dm.total() == pytest.approx(3.0)
+
+    def test_zero_entries_dropped(self):
+        dm = DemandMatrix({("a", "b"): 0.0, ("b", "c"): 1.0})
+        assert len(dm) == 1
+        assert ("a", "b") not in dm.pairs()
+
+    def test_negative_rejected(self):
+        with pytest.raises(DemandError, match="negative"):
+            DemandMatrix({("a", "b"): -1.0})
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(DemandError, match="itself"):
+            DemandMatrix({("a", "a"): 1.0})
+
+    def test_scaled(self):
+        dm = DemandMatrix({("a", "b"): 2.0}).scaled(0.5)
+        assert dm.get("a", "b") == 1.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(DemandError):
+            DemandMatrix({("a", "b"): 1.0}).scaled(-1.0)
+
+    def test_demands_to(self):
+        dm = DemandMatrix({("a", "t"): 1.0, ("b", "t"): 2.0, ("a", "x"): 5.0})
+        assert dm.demands_to("t") == {"a": 1.0, "b": 2.0}
+
+    def test_restricted_to(self):
+        dm = DemandMatrix({("a", "b"): 1.0, ("a", "c"): 1.0})
+        assert dm.restricted_to(["a", "b"]).pairs() == [("a", "b")]
+
+    def test_restricted_to_targets(self):
+        dm = DemandMatrix({("a", "b"): 1.0, ("a", "c"): 1.0})
+        assert dm.restricted_to_targets(["c"]).pairs() == [("a", "c")]
+
+    def test_blended(self):
+        a = DemandMatrix({("a", "b"): 2.0})
+        b = DemandMatrix({("a", "c"): 4.0})
+        mix = a.blended(b, 0.25)
+        assert mix.get("a", "b") == pytest.approx(1.5)
+        assert mix.get("a", "c") == pytest.approx(1.0)
+
+    def test_close_to(self):
+        a = DemandMatrix({("a", "b"): 1.0})
+        b = DemandMatrix({("a", "b"): 1.0 + 1e-12})
+        assert a.close_to(b)
+        assert not a.close_to(DemandMatrix({("a", "b"): 2.0}))
+
+    def test_equality_and_hash(self):
+        a = DemandMatrix({("a", "b"): 1.0})
+        b = DemandMatrix({("a", "b"): 1.0})
+        assert a == b and hash(a) == hash(b)
+
+    def test_uniform_constructor(self):
+        dm = DemandMatrix.uniform(["a", "b", "c"], 2.0)
+        assert len(dm) == 6
+        assert dm.get("b", "a") == 2.0
+
+
+class TestGravity:
+    def test_proportional_to_capacity_products(self, diamond):
+        dm = gravity_matrix(diamond)
+        # a and d have out-capacity 3; b has 4, c has 2.
+        ratio = dm.get("b", "c") / dm.get("a", "d")
+        assert ratio == pytest.approx((4.0 * 2.0) / (3.0 * 3.0))
+
+    def test_peak_normalization(self, diamond):
+        dm = gravity_matrix(diamond, peak=5.0)
+        assert dm.max_entry() == pytest.approx(5.0)
+
+    def test_all_pairs_present(self, abilene):
+        dm = gravity_matrix(abilene)
+        n = abilene.num_nodes
+        assert len(dm) == n * (n - 1)
+
+    def test_bad_peak_rejected(self, diamond):
+        with pytest.raises(DemandError):
+            gravity_matrix(diamond, peak=0.0)
+
+
+class TestBimodal:
+    def test_deterministic_for_seed(self, abilene):
+        a = bimodal_matrix(abilene, seed=7)
+        b = bimodal_matrix(abilene, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self, abilene):
+        assert bimodal_matrix(abilene, seed=1) != bimodal_matrix(abilene, seed=2)
+
+    def test_bimodality(self, abilene):
+        dm = bimodal_matrix(abilene, seed=3, elephant_volume=1.0, mouse_volume=0.05)
+        values = sorted(v for _p, v in dm.items())
+        # A clear gap separates mice from elephants.
+        assert values[0] < 0.1
+        assert values[-1] > 0.7
+
+    def test_invalid_fraction_rejected(self, abilene):
+        with pytest.raises(DemandError):
+            bimodal_matrix(abilene, seed=1, elephant_fraction=0.0)
+
+    def test_elephants_must_exceed_mice(self, abilene):
+        with pytest.raises(DemandError):
+            bimodal_matrix(abilene, seed=1, elephant_volume=0.01, mouse_volume=0.05)
+
+
+class TestUncertainty:
+    def test_margin_box_bounds(self):
+        base = DemandMatrix({("a", "b"): 4.0})
+        box = margin_box(base, 2.0)
+        assert box.bounds[("a", "b")] == (2.0, 8.0)
+        assert not box.oblivious
+
+    def test_margin_one_is_exact(self):
+        base = DemandMatrix({("a", "b"): 4.0})
+        box = margin_box(base, 1.0)
+        assert box.bounds[("a", "b")] == (4.0, 4.0)
+
+    def test_margin_below_one_rejected(self):
+        with pytest.raises(DemandError):
+            margin_box(DemandMatrix({("a", "b"): 1.0}), 0.5)
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(DemandError):
+            margin_box(DemandMatrix({}), 2.0)
+
+    def test_oblivious_set_pairs(self):
+        unc = oblivious_set(["a", "b", "c"])
+        assert len(unc.pairs) == 6
+        assert unc.oblivious
+        assert unc.bounds[("a", "b")] == (0.0, math.inf)
+
+    def test_oblivious_pairs_custom_support(self):
+        unc = oblivious_pairs([("s1", "t"), ("s2", "t")])
+        assert len(unc.pairs) == 2
+
+    def test_cone_membership_scaling(self):
+        base = DemandMatrix({("a", "b"): 2.0, ("a", "c"): 2.0})
+        box = margin_box(base, 2.0)
+        # Any positive scaling of the base matrix is in the cone.
+        assert box.contains_direction(base.scaled(17.0))
+        # A matrix skewed beyond margin^2 is not.
+        skewed = DemandMatrix({("a", "b"): 10.0, ("a", "c"): 1.0})
+        assert not box.contains_direction(skewed)
+
+    def test_cone_membership_oblivious(self):
+        unc = oblivious_set(["a", "b"])
+        assert unc.contains_direction(DemandMatrix({("a", "b"): 123.0}))
+
+    def test_representative_matrix_recovers_base(self):
+        base = DemandMatrix({("a", "b"): 3.0, ("b", "a"): 5.0})
+        rep = representative_matrix(margin_box(base, 2.5))
+        assert rep.close_to(base, tolerance=1e-9)
+
+    def test_representative_matrix_oblivious(self):
+        rep = representative_matrix(oblivious_set(["a", "b"]))
+        assert rep.get("a", "b") == 1.0
+
+    def test_single_matrix_set(self):
+        base = DemandMatrix({("a", "b"): 1.0})
+        unc = single_matrix_set(base)
+        assert unc.bounds[("a", "b")] == (1.0, 1.0)

@@ -1,0 +1,91 @@
+"""Tests for ECMP weights and routing."""
+
+import math
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.ecmp.routing import ecmp_dags, ecmp_routing
+from repro.ecmp.weights import (
+    integer_scaled_weights,
+    inverse_capacity_weights,
+    unit_weights,
+)
+from repro.exceptions import GraphError
+from repro.graph.network import INFINITE_CAPACITY, Network
+
+
+class TestWeights:
+    def test_inverse_capacity(self, diamond):
+        weights = inverse_capacity_weights(diamond, reference=100.0)
+        assert weights[("a", "b")] == pytest.approx(50.0)
+        assert weights[("a", "c")] == pytest.approx(100.0)
+
+    def test_infinite_capacity_edges_preferred(self):
+        net = Network.from_edges([("a", "b", 1.0), ("a", "c", INFINITE_CAPACITY)])
+        weights = inverse_capacity_weights(net)
+        assert weights[("a", "c")] < weights[("a", "b")]
+
+    def test_unit_weights(self, triangle):
+        assert set(unit_weights(triangle).values()) == {1.0}
+
+    def test_bad_reference_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            inverse_capacity_weights(diamond, reference=0.0)
+
+    def test_integer_scaling_preserves_order(self, diamond):
+        weights = inverse_capacity_weights(diamond)
+        scaled = integer_scaled_weights(weights)
+        assert all(isinstance(v, int) and v >= 1 for v in scaled.values())
+        assert scaled[("a", "c")] > scaled[("a", "b")]
+
+    def test_integer_scaling_respects_maximum(self):
+        weights = {("a", "b"): 1.0, ("a", "c"): 1e9}
+        scaled = integer_scaled_weights(weights, maximum=100)
+        assert max(scaled.values()) <= 100
+        assert min(scaled.values()) >= 1
+
+    def test_integer_scaling_empty(self):
+        assert integer_scaled_weights({}) == {}
+
+
+class TestEcmpRouting:
+    def test_equal_split_on_ties(self, diamond):
+        routing = ecmp_routing(diamond, unit_weights(diamond))
+        ratios = routing.ratios["d"]
+        assert ratios[("a", "b")] == pytest.approx(0.5)
+        assert ratios[("a", "c")] == pytest.approx(0.5)
+
+    def test_single_shortest_path(self, diamond):
+        weights = unit_weights(diamond)
+        weights[("a", "c")] = 9.0
+        routing = ecmp_routing(diamond, weights)
+        assert routing.ratios["d"][("a", "b")] == pytest.approx(1.0)
+
+    def test_dags_per_destination(self, abilene):
+        dags = ecmp_dags(abilene, unit_weights(abilene))
+        assert set(dags) == set(abilene.nodes())
+        for t, dag in dags.items():
+            assert dag.root == t
+
+    def test_restricted_destinations(self, abilene):
+        dags = ecmp_dags(abilene, unit_weights(abilene), destinations=["Denver"])
+        assert list(dags) == ["Denver"]
+
+    def test_loads_conserve_demand(self, abilene):
+        routing = ecmp_routing(abilene, unit_weights(abilene))
+        dm = DemandMatrix({("Seattle", "NewYork"): 4.0})
+        loads = routing.link_loads(dm)
+        arriving = sum(f for (u, v), f in loads.items() if v == "NewYork")
+        assert arriving == pytest.approx(4.0)
+
+    def test_running_example_matches_section2(self, running_example):
+        # Weights realizing Fig. 1b's DAG: s2 ties between t and v
+        # (2 = 1 + 1) and s1 ties between s2 and v (1 + 2 = 2 + 1).
+        # ECMP then routes demands (2, 0) with 3/2 units on (v, t).
+        weights = {e: 1.0 for e in running_example.edges()}
+        for edge in ((("s2", "t")), ("t", "s2"), ("s1", "v"), ("v", "s1")):
+            weights[edge] = 2.0
+        routing = ecmp_routing(running_example, weights)
+        loads = routing.link_loads(DemandMatrix({("s1", "t"): 2.0}))
+        assert loads[("v", "t")] == pytest.approx(1.5)

@@ -1,0 +1,75 @@
+"""Tests for failure-scenario precomputation."""
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.failures import (
+    degraded_network,
+    precompute_failure_plan,
+)
+from repro.demands.gravity import gravity_matrix
+from repro.demands.uncertainty import margin_box
+from repro.topologies.generators import ring_network, tree_with_chords
+
+FAST = SolverConfig(
+    max_adversarial_rounds=2,
+    max_inner_iterations=8,
+    smoothing_temperatures=(8.0,),
+)
+
+
+class TestDegradedNetwork:
+    def test_removes_both_directions(self, triangle):
+        survivor = degraded_network(triangle, ("a", "b"))
+        assert not survivor.has_edge("a", "b")
+        assert not survivor.has_edge("b", "a")
+        assert survivor.has_edge("a", "c")
+
+    def test_keeps_all_nodes(self, triangle):
+        survivor = degraded_network(triangle, ("a", "b"))
+        assert set(survivor.nodes()) == set(triangle.nodes())
+
+
+class TestFailurePlan:
+    def test_ring_all_links_survivable(self):
+        net = ring_network(4)
+        base = gravity_matrix(net)
+        plan = precompute_failure_plan(
+            net, margin_box(base, 1.5), config=FAST, max_scenarios=2
+        )
+        assert len(plan.scenarios) == 2
+        assert not plan.skipped
+        for scenario in plan.scenarios:
+            scenario.routing.validate()
+            assert scenario.ratio >= 1.0 - 1e-6
+
+    def test_degradation_reported(self):
+        net = ring_network(4)
+        base = gravity_matrix(net)
+        plan = precompute_failure_plan(
+            net, margin_box(base, 1.5), config=FAST, max_scenarios=2
+        )
+        # Ratios are normalized per degraded topology, so degradation may
+        # be below 1 (a ring minus a link is a path: no choices, ratio 1).
+        assert plan.max_degradation() > 0
+        assert plan.worst_scenario() is not None
+        assert plan.baseline_ratio >= 1.0 - 1e-6
+
+    def test_bridge_links_skipped(self):
+        # A tree's links are all bridges: every scenario is skipped.
+        net = tree_with_chords("failtree", 5, 0, seed=1)
+        base = gravity_matrix(net)
+        plan = precompute_failure_plan(
+            net, margin_box(base, 1.5), config=FAST, max_scenarios=3
+        )
+        assert plan.skipped
+        assert not plan.scenarios
+
+    def test_coyote_not_worse_than_ecmp_under_failures(self):
+        net = ring_network(5)
+        base = gravity_matrix(net)
+        plan = precompute_failure_plan(
+            net, margin_box(base, 2.0), config=FAST, max_scenarios=2
+        )
+        for scenario in plan.scenarios:
+            assert scenario.ratio <= scenario.ecmp_ratio + 1e-6

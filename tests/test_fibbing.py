@@ -1,0 +1,176 @@
+"""Tests for ratio apportionment, lie synthesis, and the Fibbing controller."""
+
+import pytest
+
+from repro.core.dag_builder import reverse_capacity_dags
+from repro.core.evaluate import project_ecmp_into_dags
+from repro.ecmp.routing import ecmp_routing
+from repro.ecmp.weights import unit_weights
+from repro.exceptions import FibbingError
+from repro.fibbing.apportionment import apportion, approximate_routing
+from repro.fibbing.controller import FibbingController
+from repro.fibbing.lies import lie_cost, lies_for_destination, lies_for_routing
+from repro.graph.dag import Dag
+from repro.routing.splitting import Routing
+from repro.topologies.generators import prototype_network
+
+
+class TestApportionment:
+    def test_exact_fractions_stay_exact(self):
+        seats = apportion({"a": 0.5, "b": 0.5}, budget=2)
+        total = sum(seats.values())
+        assert seats["a"] / total == pytest.approx(0.5)
+
+    def test_two_thirds_one_third(self):
+        seats = apportion({"a": 2 / 3, "b": 1 / 3}, budget=10)
+        total = sum(seats.values())
+        assert seats["a"] / total == pytest.approx(2 / 3)
+
+    def test_budget_respected(self):
+        seats = apportion({"a": 0.618, "b": 0.382}, budget=3)
+        assert max(seats.values()) <= 3
+
+    def test_error_shrinks_with_budget(self):
+        fractions = {"a": 0.618, "b": 0.382}
+        errors = []
+        for budget in (1, 3, 10):
+            seats = apportion(fractions, budget)
+            total = sum(seats.values())
+            errors.append(
+                max(abs(seats[k] / total - fractions[k]) for k in fractions)
+            )
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_zero_fraction_can_get_zero_seats(self):
+        seats = apportion({"a": 1.0, "b": 0.0}, budget=5)
+        assert seats["b"] == 0
+        assert seats["a"] >= 1
+
+    def test_unnormalized_input_accepted(self):
+        seats = apportion({"a": 2.0, "b": 2.0}, budget=4)
+        assert seats["a"] == seats["b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(FibbingError):
+            apportion({}, budget=3)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(FibbingError):
+            apportion({"a": 1.0}, budget=0)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(FibbingError):
+            apportion({"a": -0.5, "b": 1.5}, budget=3)
+
+    def test_approximate_routing_stats(self, abilene):
+        dags, weights = reverse_capacity_dags(abilene)
+        target = project_ecmp_into_dags(
+            ecmp_routing(abilene, weights), dags
+        ).renormalized(floor=0.1)
+        approx, stats = approximate_routing(target, budget=10)
+        approx.validate()
+        assert stats["max_error"] <= 0.1
+        assert stats["fib_entries"] > 0
+
+    def test_higher_budget_not_worse(self, abilene):
+        dags, weights = reverse_capacity_dags(abilene)
+        target = project_ecmp_into_dags(
+            ecmp_routing(abilene, weights), dags
+        ).renormalized(floor=0.07)
+        _, stats3 = approximate_routing(target, budget=3)
+        _, stats10 = approximate_routing(target, budget=10)
+        assert stats10["max_error"] <= stats3["max_error"] + 1e-12
+
+
+class TestLies:
+    def test_lie_cost_below_real_weights(self, abilene):
+        weights = unit_weights(abilene)
+        assert lie_cost(weights) < min(weights.values())
+
+    def test_lies_for_destination_count(self):
+        net = prototype_network()
+        weights = unit_weights(net)
+        lies = lies_for_destination(
+            net, weights, "t1", "t", {"s1": {"t": 2, "s2": 1}}
+        )
+        assert len(lies) == 3
+        assert {l.forwarding_neighbor for l in lies} == {"t", "s2"}
+
+    def test_lies_at_owner_rejected(self):
+        net = prototype_network()
+        with pytest.raises(FibbingError, match="owner"):
+            lies_for_destination(
+                net, unit_weights(net), "t1", "t", {"t": {"s1": 1}}
+            )
+
+    def test_lies_to_non_neighbor_rejected(self):
+        net = prototype_network()
+        multiplicities = {"s1": {"s1": 1}}
+        with pytest.raises(FibbingError):
+            lies_for_destination(net, unit_weights(net), "t1", "t", multiplicities)
+
+    def test_lies_for_routing_produces_realizable(self, abilene):
+        dags, weights = reverse_capacity_dags(abilene)
+        target = project_ecmp_into_dags(
+            ecmp_routing(abilene, weights), dags
+        ).renormalized(floor=0.05)
+        lies, realizable = lies_for_routing(abilene, weights, target, budget=8)
+        realizable.validate()
+        assert lies
+
+
+class TestController:
+    def test_uneven_split_realized_exactly(self):
+        """The Fig. 1d scenario: 2/3 - 1/3 split via one extra lie."""
+        net = prototype_network()
+        weights = unit_weights(net)
+        dag = Dag("t", [("s1", "t"), ("s1", "s2"), ("s2", "t")], net)
+        ratios = {
+            ("s1", "s2"): 2.0 / 3.0,
+            ("s1", "t"): 1.0 / 3.0,
+            ("s2", "t"): 1.0,
+        }
+        target = Routing({"t": dag}, {"t": ratios}, name="fig1d")
+        report = FibbingController(net, weights).install(target, budget=3)
+        assert report.faithful
+        realized = report.realized.ratios["t"]
+        assert realized[("s1", "s2")] == pytest.approx(2.0 / 3.0)
+        assert realized[("s1", "t")] == pytest.approx(1.0 / 3.0)
+
+    def test_full_topology_round_trip(self, nsf):
+        dags, weights = reverse_capacity_dags(nsf)
+        target = project_ecmp_into_dags(
+            ecmp_routing(nsf, weights), dags
+        ).renormalized(floor=0.2)
+        report = FibbingController(nsf, weights).install(target, budget=6)
+        assert not report.dag_mismatches
+        assert report.max_ratio_error < 1e-9
+        assert report.target_ratio_error <= 0.5  # apportionment error only
+
+    def test_report_counts_lies(self):
+        net = prototype_network()
+        weights = unit_weights(net)
+        dag = Dag("t", [("s1", "t"), ("s2", "t")], net)
+        target = Routing(
+            {"t": dag}, {"t": {("s1", "t"): 1.0, ("s2", "t"): 1.0}}, name="direct"
+        )
+        report = FibbingController(net, weights).install(target, budget=1)
+        assert report.lies_injected == 2
+
+    def test_domain_reuse_clears_old_lies(self):
+        net = prototype_network()
+        weights = unit_weights(net)
+        controller = FibbingController(net, weights)
+        domain = controller.build_domain()
+        dag = Dag("t", [("s1", "t"), ("s1", "s2"), ("s2", "t")], net)
+        first = Routing(
+            {"t": dag},
+            {"t": {("s1", "s2"): 0.5, ("s1", "t"): 0.5, ("s2", "t"): 1.0}},
+        )
+        second = Routing(
+            {"t": dag},
+            {"t": {("s1", "s2"): 0.25, ("s1", "t"): 0.75, ("s2", "t"): 1.0}},
+        )
+        controller.install(first, budget=4, domain=domain)
+        report = controller.install(second, budget=4, domain=domain)
+        assert report.realized.ratios["t"][("s1", "t")] == pytest.approx(0.75)

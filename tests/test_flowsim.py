@@ -1,0 +1,119 @@
+"""Tests for the fluid model and the packet-level emulator."""
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import RoutingError
+from repro.flowsim.fluid import delivery_fractions, fluid_report
+from repro.flowsim.packet import CbrFlow, PacketSimulator, PrefixForwarding
+from repro.graph.dag import Dag
+from repro.routing.splitting import Routing
+from repro.topologies.generators import prototype_network
+
+
+@pytest.fixture
+def direct_routing():
+    net = prototype_network()
+    dag = Dag("t", [("s1", "t"), ("s2", "t")], net)
+    routing = Routing(
+        {"t": dag}, {"t": {("s1", "t"): 1.0, ("s2", "t"): 1.0}}, name="direct"
+    )
+    return net, routing
+
+
+class TestFluid:
+    def test_report_loads(self, direct_routing):
+        net, routing = direct_routing
+        report = fluid_report(net, routing, DemandMatrix({("s1", "t"): 0.5}))
+        assert report.loads[("s1", "t")] == pytest.approx(0.5)
+        assert report.max_utilization == pytest.approx(0.5)
+        assert report.hottest_edge == ("s1", "t")
+
+    def test_over_subscription_detected(self, direct_routing):
+        net, routing = direct_routing
+        report = fluid_report(net, routing, DemandMatrix({("s1", "t"): 2.0}))
+        assert report.over_subscribed() == [("s1", "t")]
+
+    def test_delivery_fraction_under_load(self, direct_routing):
+        net, routing = direct_routing
+        fractions = delivery_fractions(net, routing, DemandMatrix({("s1", "t"): 2.0}))
+        assert fractions[("s1", "t")] == pytest.approx(0.5)
+
+    def test_delivery_full_when_fitting(self, direct_routing):
+        net, routing = direct_routing
+        fractions = delivery_fractions(net, routing, DemandMatrix({("s1", "t"): 1.0}))
+        assert fractions[("s1", "t")] == pytest.approx(1.0)
+
+
+class TestPacketSimulator:
+    def _forwarding(self, split=None):
+        hops_s1 = split if split else {"t": 1.0}
+        return {
+            "t1": PrefixForwarding("t1", "t", {"s1": hops_s1, "s2": {"t": 1.0}}),
+        }
+
+    def test_all_delivered_under_capacity(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding())
+        flows = [CbrFlow("s1", "t1", 50.0, 0.0, 2.0)]
+        stats = sim.run(flows, 2.0)
+        flow_stats = stats[flows[0]]
+        assert flow_stats.dropped == 0
+        assert flow_stats.delivered == flow_stats.sent
+
+    def test_half_dropped_at_double_rate(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding())
+        flows = [CbrFlow("s1", "t1", 200.0, 0.0, 10.0)]
+        stats = sim.run(flows, 10.0)
+        rate = stats[flows[0]].drop_rate()
+        assert rate == pytest.approx(0.5, abs=0.03)
+
+    def test_split_halves_survive(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding({"t": 0.5, "s2": 0.5}))
+        flows = [CbrFlow("s1", "t1", 200.0, 0.0, 5.0)]
+        stats = sim.run(flows, 5.0)
+        # Split across two 100-pps paths: everything fits.
+        assert stats[flows[0]].drop_rate() == pytest.approx(0.0, abs=0.02)
+
+    def test_windows_account_for_everything(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding())
+        flows = [CbrFlow("s1", "t1", 150.0, 0.0, 3.0)]
+        stats = sim.run(flows, 3.0)
+        s = stats[flows[0]]
+        assert sum(s.sent_per_window.values()) == s.sent
+        assert sum(s.dropped_per_window.values()) == s.dropped
+
+    def test_smooth_wrr_deterministic(self):
+        net = prototype_network()
+        results = []
+        for _ in range(2):
+            sim = PacketSimulator(net, self._forwarding({"t": 0.7, "s2": 0.3}))
+            flows = [CbrFlow("s1", "t1", 100.0, 0.0, 2.0)]
+            stats = sim.run(flows, 2.0)
+            results.append(stats[flows[0]].delivered)
+        assert results[0] == results[1]
+
+    def test_flow_outside_interval_idle(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding())
+        flows = [CbrFlow("s1", "t1", 100.0, 5.0, 6.0)]
+        stats = sim.run(flows, 2.0)  # ends before the flow starts
+        assert stats[flows[0]].sent == 0
+
+    def test_unknown_prefix_raises(self):
+        net = prototype_network()
+        sim = PacketSimulator(net, self._forwarding())
+        flows = [CbrFlow("s1", "nope", 100.0, 0.0, 1.0)]
+        with pytest.raises(RoutingError, match="no forwarding state"):
+            sim.run(flows, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(RoutingError):
+            CbrFlow("s1", "t1", -1.0, 0.0, 1.0)
+
+    def test_forwarding_requires_next_hops(self):
+        with pytest.raises(RoutingError, match="no next hop"):
+            PrefixForwarding("p", "t", {"s1": {}})

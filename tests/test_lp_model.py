@@ -1,0 +1,143 @@
+"""Unit tests for the LP modeling layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+from repro.lp.model import LinExpr, Model
+
+
+class TestExpressions:
+    def test_variable_arithmetic(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + y - 3
+        assert expr.terms[x.index] == 2.0
+        assert expr.terms[y.index] == 1.0
+        assert expr.constant == -3.0
+
+    def test_negation_and_subtraction(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = -(x - 1)
+        assert expr.terms[x.index] == -1.0
+        assert expr.constant == 1.0
+
+    def test_weighted_sum_merges_duplicates(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = LinExpr.weighted_sum([(x, 1.0), (x, 2.0)])
+        assert expr.terms[x.index] == 3.0
+
+    def test_add_term_in_place(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = LinExpr()
+        expr.add_term(x, 1.5).add_term(x, 0.5)
+        assert expr.terms[x.index] == 2.0
+
+    def test_zero_coefficient_skipped(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = LinExpr.weighted_sum([(x, 0.0)])
+        assert not expr.terms
+
+
+class TestSolving:
+    def test_simple_minimize(self):
+        m = Model()
+        x = m.add_var("x", lower=1.0)
+        y = m.add_var("y", lower=2.0)
+        m.minimize(x + y)
+        solution = m.solve()
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_maximize_with_constraint(self):
+        m = Model()
+        x = m.add_var("x", upper=10.0)
+        m.add_le(2 * x, 8.0)
+        m.maximize(x)
+        assert m.solve().objective == pytest.approx(4.0)
+
+    def test_equality_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_eq(x + y, 5.0)
+        m.minimize(x)
+        solution = m.solve()
+        assert solution.value(x) == pytest.approx(0.0)
+        assert solution.value(y) == pytest.approx(5.0)
+
+    def test_ge_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_ge(x, 7.0)
+        m.minimize(x)
+        assert m.solve().objective == pytest.approx(7.0)
+
+    def test_infeasible_raises(self):
+        m = Model()
+        x = m.add_var("x", lower=0.0)
+        m.add_le(x, -1.0)
+        m.minimize(x)
+        with pytest.raises(InfeasibleError):
+            m.solve()
+
+    def test_unbounded_raises(self):
+        m = Model()
+        x = m.add_var("x")
+        m.maximize(x)
+        with pytest.raises(UnboundedError):
+            m.solve()
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_var("x", lower=2.0)
+        m.minimize(x + 10)
+        assert m.solve().objective == pytest.approx(12.0)
+
+    def test_bad_bounds_raise(self):
+        m = Model()
+        with pytest.raises(SolverError, match="lower bound"):
+            m.add_var("x", lower=5.0, upper=1.0)
+
+
+class TestCompiledReuse:
+    def test_resolve_with_different_objectives(self):
+        m = Model()
+        x = m.add_var("x", upper=3.0)
+        y = m.add_var("y", upper=4.0)
+        m.add_le(x + y, 5.0)
+        compiled = m.compile()
+        sol_x = compiled.solve(m.objective_vector(x), maximize=True)
+        sol_y = compiled.solve(m.objective_vector(y), maximize=True)
+        assert sol_x.objective == pytest.approx(3.0)
+        assert sol_y.objective == pytest.approx(4.0)
+
+    def test_objective_length_checked(self):
+        m = Model()
+        m.add_var("x")
+        compiled = m.compile()
+        with pytest.raises(SolverError, match="entries"):
+            compiled.solve(np.zeros(5))
+
+    def test_duals_of_binding_constraint(self):
+        # max x s.t. x <= 4: the dual of the constraint is 1.
+        m = Model()
+        x = m.add_var("x")
+        row = m.add_le(x, 4.0)
+        m.maximize(x)
+        solution = m.solve()
+        assert solution.objective == pytest.approx(4.0)
+        # HiGHS reports marginals of the minimized problem: -1 here.
+        assert abs(solution.ineq_duals[row]) == pytest.approx(1.0)
+
+    def test_add_vars_family(self):
+        m = Model()
+        family = m.add_vars(["a", "b", "c"], "f")
+        assert len(family) == 3
+        assert family["b"].name == "f[b]"

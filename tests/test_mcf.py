@@ -1,0 +1,95 @@
+"""Tests for the min-congestion MCF LP (OPTU) and the within-DAG variant."""
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import InfeasibleError
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.lp.dag_flow import (
+    dag_optimal_congestion,
+    induced_splitting_ratios,
+    optimal_dag_routing,
+)
+from repro.lp.mcf import is_routable, min_congestion, optimal_utilization
+
+
+class TestUnrestricted:
+    def test_single_path(self):
+        net = Network.from_edges([("a", "b", 2.0)])
+        result = min_congestion(net, DemandMatrix({("a", "b"): 1.0}))
+        assert result.alpha == pytest.approx(0.5)
+
+    def test_parallel_paths_split(self, diamond):
+        # 2 units a->d; paths a-b-d (cap 2) and a-c-d (cap 1): the optimum
+        # loads both at 2/3 utilization by splitting 4/3 vs 2/3.
+        result = min_congestion(net := diamond, DemandMatrix({("a", "d"): 2.0}))
+        assert result.alpha == pytest.approx(2.0 / 3.0)
+
+    def test_running_example_extremes(self, running_example):
+        # Either extreme demand can be routed at congestion exactly 1.
+        for source in ("s1", "s2"):
+            dm = DemandMatrix({(source, "t"): 2.0})
+            assert min_congestion(running_example, dm).alpha == pytest.approx(1.0)
+
+    def test_multi_destination(self, triangle):
+        dm = DemandMatrix({("a", "b"): 0.5, ("b", "c"): 0.5, ("c", "a"): 0.5})
+        result = min_congestion(triangle, dm)
+        assert result.alpha <= 0.5 + 1e-9
+
+    def test_flows_satisfy_demand(self, diamond):
+        dm = DemandMatrix({("a", "d"): 2.0})
+        result = min_congestion(diamond, dm)
+        # Net flow delivered into d equals the demand.
+        delivered = sum(
+            flow for (u, v), flow in result.flows["d"].items() if v == "d"
+        ) - sum(flow for (u, v), flow in result.flows["d"].items() if u == "d")
+        assert delivered == pytest.approx(2.0)
+
+    def test_optimal_utilization_empty_demand(self, diamond):
+        assert optimal_utilization(diamond, DemandMatrix({})) == 0.0
+
+    def test_is_routable(self, diamond):
+        assert is_routable(diamond, DemandMatrix({("a", "d"): 3.0}))
+        assert not is_routable(diamond, DemandMatrix({("a", "d"): 3.2}))
+
+
+class TestWithinDags:
+    def test_dag_restriction_binds(self, diamond):
+        # Restricting to the b-branch halves the usable capacity.
+        dag = Dag("d", [("a", "b"), ("b", "d")], diamond)
+        dm = DemandMatrix({("a", "d"): 2.0})
+        unrestricted = min_congestion(diamond, dm).alpha
+        restricted = min_congestion(diamond, dm, dags={"d": dag}).alpha
+        assert restricted == pytest.approx(1.0)
+        assert restricted > unrestricted
+
+    def test_source_outside_dag_infeasible(self, diamond):
+        dag = Dag("d", [("b", "d")], diamond)
+        dm = DemandMatrix({("a", "d"): 1.0})
+        with pytest.raises(InfeasibleError):
+            min_congestion(diamond, dm, dags={"d": dag})
+
+    def test_induced_ratios_follow_flows(self, diamond):
+        dag = Dag("d", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], diamond)
+        dm = DemandMatrix({("a", "d"): 2.0})
+        result = dag_optimal_congestion(diamond, {"d": dag}, dm)
+        ratios = induced_splitting_ratios({"d": dag}, result)
+        # Optimal split is 2:1 along capacities.
+        assert ratios["d"][("a", "b")] == pytest.approx(2.0 / 3.0, abs=1e-6)
+        assert ratios["d"][("a", "c")] == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_unused_nodes_get_uniform_ratios(self, diamond):
+        dag = Dag("d", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], diamond)
+        dm = DemandMatrix({("b", "d"): 1.0})  # a carries no flow
+        result = dag_optimal_congestion(diamond, {"d": dag}, dm)
+        ratios = induced_splitting_ratios({"d": dag}, result)
+        assert ratios["d"][("a", "b")] == pytest.approx(0.5)
+        assert ratios["d"][("a", "c")] == pytest.approx(0.5)
+
+    def test_optimal_dag_routing_achieves_alpha(self, diamond):
+        dag = Dag("d", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], diamond)
+        dm = DemandMatrix({("a", "d"): 2.0})
+        routing = optimal_dag_routing(diamond, {"d": dag}, dm)
+        alpha = dag_optimal_congestion(diamond, {"d": dag}, dm).alpha
+        assert routing.max_link_utilization(dm, diamond) == pytest.approx(alpha, abs=1e-6)

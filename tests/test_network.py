@@ -1,0 +1,128 @@
+"""Unit tests for the capacitated network model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.network import INFINITE_CAPACITY, Network
+
+
+class TestConstruction:
+    def test_add_edge_and_query(self):
+        net = Network("n")
+        net.add_edge("a", "b", 5.0)
+        assert net.has_edge("a", "b")
+        assert not net.has_edge("b", "a")
+        assert net.capacity("a", "b") == 5.0
+
+    def test_nodes_created_implicitly(self):
+        net = Network()
+        net.add_edge("a", "b", 1.0)
+        assert set(net.nodes()) == {"a", "b"}
+
+    def test_add_isolated_node(self):
+        net = Network()
+        net.add_node("lonely")
+        assert net.has_node("lonely")
+        assert net.out_degree("lonely") == 0
+
+    def test_add_node_idempotent(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("a")
+        assert net.num_nodes == 1
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        with pytest.raises(GraphError, match="self-loop"):
+            net.add_edge("a", "a", 1.0)
+
+    def test_zero_capacity_rejected(self):
+        net = Network()
+        with pytest.raises(GraphError, match="capacity"):
+            net.add_edge("a", "b", 0.0)
+
+    def test_negative_capacity_rejected(self):
+        net = Network()
+        with pytest.raises(GraphError, match="capacity"):
+            net.add_edge("a", "b", -2.0)
+
+    def test_duplicate_edge_rejected(self):
+        net = Network()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(GraphError, match="duplicate"):
+            net.add_edge("a", "b", 2.0)
+
+    def test_infinite_capacity_allowed(self):
+        net = Network()
+        net.add_edge("a", "b", INFINITE_CAPACITY)
+        assert math.isinf(net.capacity("a", "b"))
+        assert net.finite_capacity_edges() == []
+
+    def test_from_undirected_creates_both_directions(self):
+        net = Network.from_undirected([("a", "b", 3.0)])
+        assert net.has_edge("a", "b") and net.has_edge("b", "a")
+        assert net.capacity("b", "a") == 3.0
+        assert net.num_edges == 2
+
+    def test_from_edges_directed_only(self):
+        net = Network.from_edges([("a", "b", 3.0)])
+        assert net.has_edge("a", "b") and not net.has_edge("b", "a")
+
+
+class TestQueries:
+    def test_successors_predecessors(self, diamond):
+        assert set(diamond.successors("a")) == {"b", "c"}
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("a") == 2  # reverse edges exist
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError, match="unknown node"):
+            diamond.successors("zzz")
+
+    def test_unknown_edge_capacity_raises(self, diamond):
+        with pytest.raises(GraphError, match="no edge"):
+            diamond.capacity("a", "d")
+
+    def test_edge_order_is_stable(self):
+        net = Network.from_edges([("a", "b", 1.0), ("b", "c", 1.0), ("c", "a", 1.0)])
+        assert net.edges() == [("a", "b"), ("b", "c"), ("c", "a")]
+        index = net.edge_index()
+        assert index[("a", "b")] == 0 and index[("c", "a")] == 2
+
+    def test_total_capacity_out(self, diamond):
+        assert diamond.total_capacity_out("a") == pytest.approx(3.0)
+
+    def test_capacities_mapping(self, triangle):
+        caps = triangle.capacities()
+        assert len(caps) == 6
+        assert all(v == 1.0 for v in caps.values())
+
+    def test_contains_and_iter(self, triangle):
+        assert "a" in triangle
+        assert set(iter(triangle)) == {"a", "b", "c"}
+
+
+class TestConnectivity:
+    def test_undirected_net_strongly_connected(self, diamond):
+        assert diamond.is_strongly_connected()
+
+    def test_directed_chain_not_strongly_connected(self):
+        net = Network.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        assert not net.is_strongly_connected()
+
+    def test_single_node_trivially_connected(self):
+        net = Network()
+        net.add_node("a")
+        assert net.is_strongly_connected()
+
+    def test_copy_is_deep(self, diamond):
+        clone = diamond.copy("clone")
+        clone.add_edge("a", "d", 9.0)
+        assert not diamond.has_edge("a", "d")
+        assert clone.name == "clone"
+        assert clone.num_edges == diamond.num_edges + 1

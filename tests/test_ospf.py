@@ -1,0 +1,223 @@
+"""Tests for the OSPF link-state simulator."""
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.ecmp.routing import ecmp_routing
+from repro.ecmp.weights import inverse_capacity_weights, unit_weights
+from repro.exceptions import OspfError
+from repro.graph.network import Network
+from repro.ospf.domain import OspfDomain
+from repro.ospf.lsa import FakeNodeLsa, LsaLink, PrefixLsa, RouterLsa
+from repro.ospf.lsdb import LinkStateDatabase
+from repro.ospf.router import Router
+from repro.ospf.spf import SpfCalculator, SpfGraph
+
+
+class TestLsa:
+    def test_router_lsa_key(self):
+        lsa = RouterLsa("r1", (LsaLink("r2", 1.0),))
+        assert lsa.key == ("router", "r1")
+
+    def test_link_cost_positive(self):
+        with pytest.raises(OspfError):
+            LsaLink("r2", 0.0)
+
+    def test_prefix_cost_nonnegative(self):
+        with pytest.raises(OspfError):
+            PrefixLsa("p", "r1", cost=-1.0)
+
+    def test_fake_lsa_route_cost(self):
+        fake = FakeNodeLsa("f", "r1", "r2", "p", attach_cost=0.5, prefix_cost=0.25)
+        assert fake.route_cost == pytest.approx(0.75)
+
+    def test_fake_lsa_forwarding_must_differ(self):
+        with pytest.raises(OspfError):
+            FakeNodeLsa("f", "r1", "r1", "p", 0.5, 0.5)
+
+
+class TestLsdb:
+    def test_freshness_rule(self):
+        db = LinkStateDatabase()
+        old = RouterLsa("r1", (), sequence=1)
+        new = RouterLsa("r1", (LsaLink("r2", 1.0),), sequence=2)
+        assert db.install(old)
+        assert db.install(new)
+        assert not db.install(old)  # stale
+        assert db.get(("router", "r1")).sequence == 2
+
+    def test_digest_tracks_content(self):
+        db1, db2 = LinkStateDatabase(), LinkStateDatabase()
+        lsa = RouterLsa("r1", ())
+        db1.install(lsa)
+        assert db1.digest() != db2.digest()
+        db2.install(lsa)
+        assert db1.digest() == db2.digest()
+
+    def test_validate_rejects_orphan_fake(self):
+        db = LinkStateDatabase()
+        db.install(FakeNodeLsa("f", "ghost", "r2", "p", 0.5, 0.5))
+        with pytest.raises(OspfError, match="unknown router"):
+            db.validate()
+
+    def test_prefix_collection(self):
+        db = LinkStateDatabase()
+        db.install(RouterLsa("r1", ()))
+        db.install(PrefixLsa("p1", "r1"))
+        db.install(FakeNodeLsa("f", "r1", "r2", "p2", 0.5, 0.5))
+        assert db.prefixes() == {"p1", "p2"}
+
+
+class TestSpf:
+    def _two_router_db(self):
+        db = LinkStateDatabase()
+        db.install(RouterLsa("a", (LsaLink("b", 1.0),)))
+        db.install(RouterLsa("b", (LsaLink("a", 1.0),)))
+        db.install(PrefixLsa("p", "b"))
+        return db
+
+    def test_basic_route(self):
+        calc = SpfCalculator(SpfGraph(self._two_router_db()))
+        hops = calc.next_hops("a", "p")
+        assert len(hops) == 1 and hops[0].neighbor == "b"
+
+    def test_local_delivery_no_next_hop(self):
+        calc = SpfCalculator(SpfGraph(self._two_router_db()))
+        assert calc.next_hops("b", "p") == []
+
+    def test_one_way_link_ignored(self):
+        # OSPF requires bidirectional adjacency confirmation.
+        db = LinkStateDatabase()
+        db.install(RouterLsa("a", (LsaLink("b", 1.0),)))
+        db.install(RouterLsa("b", ()))  # b does not report a
+        db.install(PrefixLsa("p", "b"))
+        calc = SpfCalculator(SpfGraph(db))
+        assert calc.next_hops("a", "p") == []
+
+    def test_fake_node_attracts_traffic(self):
+        db = self._two_router_db()
+        db.install(RouterLsa("c", (LsaLink("a", 1.0),)))
+        # Make the topology a-b, a-c (bidirectional).
+        db.install(RouterLsa("a", (LsaLink("b", 1.0), LsaLink("c", 1.0)), sequence=2))
+        db.install(FakeNodeLsa("f", "a", "c", "p", 0.25, 0.25))
+        calc = SpfCalculator(SpfGraph(db))
+        hops = calc.next_hops("a", "p")
+        # The lie (cost 0.5) beats the real route (cost 1): all to c.
+        assert [h.neighbor for h in hops] == ["c"]
+
+    def test_fake_multiplicity(self):
+        db = self._two_router_db()
+        db.install(FakeNodeLsa("f1", "a", "b", "p", 0.25, 0.25))
+        db.install(FakeNodeLsa("f2", "a", "b", "p", 0.25, 0.25))
+        calc = SpfCalculator(SpfGraph(db))
+        hops = calc.next_hops("a", "p")
+        assert hops[0].multiplicity == 2
+
+
+class TestDomain:
+    def test_flooding_converges(self, abilene):
+        domain = OspfDomain(abilene, unit_weights(abilene))
+        domain.advertise_loopbacks()
+        rounds = domain.flood()
+        assert rounds <= abilene.num_nodes
+        digests = {r.lsdb.digest() for r in domain.routers.values()}
+        assert len(digests) == 1
+
+    def test_fibs_match_ecmp(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        domain = OspfDomain(abilene, weights)
+        domain.advertise_loopbacks()
+        domain.flood()
+        ospf = domain.extract_routing()
+        ecmp = ecmp_routing(abilene, weights)
+        for t in abilene.nodes():
+            assert set(ospf.dags[t].edges()) == set(ecmp.dags[t].edges())
+
+    def test_extracted_routing_routes_demands(self, abilene):
+        weights = unit_weights(abilene)
+        domain = OspfDomain(abilene, weights)
+        domain.advertise_loopbacks()
+        domain.flood()
+        routing = domain.extract_routing()
+        dm = DemandMatrix({("Seattle", "Atlanta"): 1.0})
+        loads = routing.link_loads(dm)
+        arriving = sum(f for (u, v), f in loads.items() if v == "Atlanta")
+        assert arriving == pytest.approx(1.0)
+
+    def test_duplicate_prefix_rejected(self, triangle):
+        domain = OspfDomain(triangle, unit_weights(triangle))
+        domain.advertise_prefix("a", "p")
+        with pytest.raises(OspfError, match="already advertised"):
+            domain.advertise_prefix("b", "p")
+
+    def test_lie_with_bad_forwarding_neighbor_rejected(self, triangle):
+        domain = OspfDomain(triangle, unit_weights(triangle))
+        domain.advertise_loopbacks()
+        lie = FakeNodeLsa("f", "a", "b", "c", 0.1, 0.1)
+        domain.inject_lies([lie])  # a-b are neighbors: fine
+        net = Network.from_undirected([("a", "b", 1.0), ("b", "c", 1.0)])
+        chain = OspfDomain(net, {e: 1.0 for e in net.edges()})
+        chain.advertise_loopbacks()
+        bad = FakeNodeLsa("f", "a", "c", "c", 0.1, 0.1)  # c not adjacent to a
+        with pytest.raises(OspfError, match="not a .*neighbor"):
+            chain.inject_lies([bad])
+
+    def test_clear_lies_restores_ecmp(self, triangle):
+        weights = unit_weights(triangle)
+        domain = OspfDomain(triangle, weights)
+        domain.advertise_loopbacks()
+        domain.flood()
+        before = domain.splitting_ratios("c")
+        domain.inject_lies([FakeNodeLsa("f", "a", "b", "c", 0.1, 0.1)])
+        domain.flood()
+        during = domain.splitting_ratios("c")
+        assert during != before
+        domain.clear_lies()
+        domain.flood()
+        assert domain.splitting_ratios("c") == before
+
+    def test_link_failure_reroutes(self, triangle):
+        weights = unit_weights(triangle)
+        domain = OspfDomain(triangle, weights)
+        domain.advertise_loopbacks()
+        domain.flood()
+        assert domain.splitting_ratios("c").get(("a", "c")) == pytest.approx(1.0)
+        domain.fail_link("a", "c")
+        domain.flood()
+        ratios = domain.splitting_ratios("c")
+        assert ("a", "c") not in ratios
+        assert ratios.get(("a", "b")) == pytest.approx(1.0)
+
+    def test_total_fake_lsas(self, triangle):
+        domain = OspfDomain(triangle, unit_weights(triangle))
+        domain.advertise_loopbacks()
+        domain.inject_lies([FakeNodeLsa("f", "a", "b", "c", 0.1, 0.1)])
+        domain.flood()
+        assert domain.total_fake_lsas() == 1
+
+
+class TestRouter:
+    def test_originate_bumps_sequence(self):
+        router = Router("r1")
+        first = router.originate({"r2": 1.0})
+        second = router.originate({"r2": 2.0})
+        assert second.sequence == first.sequence + 1
+
+    def test_fib_rebuilt_after_receive(self):
+        r1 = Router("r1")
+        r1.originate({"r2": 1.0})
+        r2_lsa = RouterLsa("r2", (LsaLink("r1", 1.0),), sequence=1)
+        prefix = PrefixLsa("p", "r2")
+        r1.receive(r2_lsa)
+        r1.receive(prefix)
+        assert [h.neighbor for h in r1.next_hops("p")] == ["r2"]
+
+    def test_splitting_fractions(self):
+        r1 = Router("r1")
+        r1.originate({"r2": 1.0, "r3": 1.0})
+        r1.receive(RouterLsa("r2", (LsaLink("r1", 1.0), LsaLink("r4", 1.0))))
+        r1.receive(RouterLsa("r3", (LsaLink("r1", 1.0), LsaLink("r4", 1.0))))
+        r1.receive(RouterLsa("r4", (LsaLink("r2", 1.0), LsaLink("r3", 1.0))))
+        r1.receive(PrefixLsa("p", "r4"))
+        fractions = r1.splitting_fractions("p")
+        assert fractions == {"r2": 0.5, "r3": 0.5}

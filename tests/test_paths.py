@@ -1,0 +1,115 @@
+"""Unit tests for Dijkstra, ECMP DAG extraction, and path metrics."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.graph.paths import (
+    dijkstra_to_target,
+    expected_path_lengths,
+    hop_distances_to_target,
+    reachable_to,
+    shortest_path_dag,
+)
+
+
+def unit_weights(net):
+    return {e: 1.0 for e in net.edges()}
+
+
+class TestDijkstra:
+    def test_distances_on_diamond(self, diamond):
+        dist = dijkstra_to_target(diamond, unit_weights(diamond), "d")
+        assert dist["d"] == 0.0
+        assert dist["b"] == 1.0 and dist["c"] == 1.0
+        assert dist["a"] == 2.0
+
+    def test_weighted_distances(self, diamond):
+        weights = {e: 1.0 for e in diamond.edges()}
+        weights[("b", "d")] = 10.0
+        dist = dijkstra_to_target(diamond, weights, "d")
+        assert dist["b"] == pytest.approx(3.0)  # b -> a -> c -> d
+
+    def test_unreachable_is_infinite(self):
+        net = Network.from_edges([("t", "a", 1.0)])  # a cannot reach t
+        dist = dijkstra_to_target(net, {("t", "a"): 1.0}, "t")
+        assert math.isinf(dist["a"])
+
+    def test_missing_weight_raises(self, triangle):
+        with pytest.raises(GraphError, match="missing weight"):
+            dijkstra_to_target(triangle, {}, "a")
+
+    def test_nonpositive_weight_raises(self, triangle):
+        weights = unit_weights(triangle)
+        weights[("a", "b")] = 0.0
+        with pytest.raises(GraphError, match="must be > 0"):
+            dijkstra_to_target(triangle, weights, "a")
+
+    def test_unknown_target_raises(self, triangle):
+        with pytest.raises(GraphError, match="unknown target"):
+            dijkstra_to_target(triangle, unit_weights(triangle), "zzz")
+
+
+class TestShortestPathDag:
+    def test_ecmp_ties_create_branches(self, diamond):
+        dag = shortest_path_dag(diamond, unit_weights(diamond), "d")
+        assert set(dag.out_neighbors("a")) == {"b", "c"}
+        assert dag.has_edge("b", "d") and dag.has_edge("c", "d")
+
+    def test_no_ties_single_paths(self, diamond):
+        weights = unit_weights(diamond)
+        weights[("a", "c")] = 5.0
+        dag = shortest_path_dag(diamond, weights, "d")
+        assert dag.out_neighbors("a") == ["b"]
+
+    def test_dag_is_acyclic_and_rooted(self, abilene):
+        weights = unit_weights(abilene)
+        for target in list(abilene.nodes())[:4]:
+            dag = shortest_path_dag(abilene, weights, target)
+            assert dag.root == target
+            order = dag.topological_order()
+            assert order[-1] == target
+
+    def test_all_nodes_reach_target(self, abilene):
+        dag = shortest_path_dag(abilene, unit_weights(abilene), "Denver")
+        assert set(dag.nodes()) == set(abilene.nodes())
+
+
+class TestMetrics:
+    def test_hop_distances(self, diamond):
+        dist = hop_distances_to_target(diamond, "d")
+        assert dist["a"] == 2.0
+
+    def test_reachable_to(self, diamond):
+        assert reachable_to(diamond, "d") == set(diamond.nodes())
+
+    def test_expected_path_lengths_deterministic(self, diamond):
+        dag = Dag("d", [("a", "b"), ("b", "d")], diamond)
+        lengths = expected_path_lengths(dag, {("a", "b"): 1.0, ("b", "d"): 1.0})
+        assert lengths["a"] == pytest.approx(2.0)
+
+    def test_expected_path_lengths_split(self, diamond):
+        dag = Dag("d", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], diamond)
+        ratios = {
+            ("a", "b"): 0.5,
+            ("a", "c"): 0.5,
+            ("b", "d"): 1.0,
+            ("c", "d"): 1.0,
+        }
+        lengths = expected_path_lengths(dag, ratios)
+        assert lengths["a"] == pytest.approx(2.0)
+
+    def test_expected_length_weighs_longer_branch(self, running_example, example_dag):
+        # All of s1's traffic through s2 then v: 3 hops.
+        ratios = {
+            ("s1", "s2"): 1.0,
+            ("s1", "v"): 0.0,
+            ("s2", "v"): 1.0,
+            ("s2", "t"): 0.0,
+            ("v", "t"): 1.0,
+        }
+        lengths = expected_path_lengths(example_dag, ratios)
+        assert lengths["s1"] == pytest.approx(3.0)

@@ -1,0 +1,111 @@
+"""Tests for demand-polytope utilities and path decomposition."""
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.demands.polytope import (
+    dominates,
+    max_demand_along,
+    max_routable_scaling,
+    non_dominated,
+    saturate,
+)
+from repro.exceptions import RoutingError
+from repro.routing.decomposition import (
+    expected_hops_via_paths,
+    path_count,
+    paths_for_pair,
+)
+from repro.experiments.running_example import fig1b_routing, fig1c_routing
+from repro.lp.mcf import min_congestion
+from repro.topologies.generators import integer_gadget_network
+
+
+class TestDomination:
+    def test_dominates_strictly(self):
+        a = DemandMatrix({("a", "b"): 2.0, ("a", "c"): 1.0})
+        b = DemandMatrix({("a", "b"): 1.0, ("a", "c"): 1.0})
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_matrices_do_not_dominate(self):
+        a = DemandMatrix({("a", "b"): 1.0})
+        assert not dominates(a, DemandMatrix({("a", "b"): 1.0}))
+
+    def test_incomparable(self):
+        a = DemandMatrix({("a", "b"): 2.0})
+        b = DemandMatrix({("a", "c"): 2.0})
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_non_dominated_filter(self):
+        big = DemandMatrix({("a", "b"): 2.0, ("a", "c"): 2.0})
+        small = DemandMatrix({("a", "b"): 1.0})
+        other = DemandMatrix({("a", "d"): 5.0})
+        survivors = non_dominated([big, small, other])
+        assert big in survivors and other in survivors
+        assert small not in survivors
+
+
+class TestScaling:
+    def test_saturate_reaches_boundary(self, running_example):
+        dm = DemandMatrix({("s1", "t"): 0.5})
+        boundary = saturate(running_example, dm)
+        assert min_congestion(running_example, boundary).alpha == pytest.approx(1.0)
+
+    def test_max_routable_scaling_value(self, running_example):
+        # s1's min cut toward t is 2 (via s2 and v), so 0.5 scales by 4.
+        dm = DemandMatrix({("s1", "t"): 0.5})
+        assert max_routable_scaling(running_example, dm) == pytest.approx(4.0)
+
+    def test_theorem1_vertex_demand(self):
+        """Theorem 1's D1 = (2 SUM, 0): the single-source vertex."""
+        weights = [3, 1, 2]
+        net = integer_gadget_network(weights)
+        vertex = max_demand_along(net, [("s1", "t")])
+        assert vertex.get("s1", "t") == pytest.approx(2.0 * sum(weights))
+
+    def test_max_demand_with_background(self):
+        weights = [2, 2]
+        net = integer_gadget_network(weights)
+        background = DemandMatrix({("s2", "t"): 4.0})
+        combined = max_demand_along(net, [("s1", "t")], fixed=background)
+        # Min cut is 2 * SUM = 8 shared by both sources.
+        assert combined.total() == pytest.approx(8.0)
+
+
+class TestDecomposition:
+    def test_fig1b_paths(self, running_example):
+        routing = fig1b_routing(running_example)
+        paths = paths_for_pair(routing, "s1", "t")
+        fractions = {p.nodes: p.fraction for p in paths}
+        assert fractions[("s1", "v", "t")] == pytest.approx(0.5)
+        assert fractions[("s1", "s2", "t")] == pytest.approx(0.25)
+        assert fractions[("s1", "s2", "v", "t")] == pytest.approx(0.25)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_paths_sorted_by_weight(self, running_example):
+        routing = fig1c_routing(running_example)
+        paths = paths_for_pair(routing, "s1", "t")
+        weights = [p.fraction for p in paths]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_expected_hops_matches_dp(self, running_example):
+        routing = fig1b_routing(running_example)
+        via_paths = expected_hops_via_paths(routing, "s1", "t")
+        via_dp = routing.expected_hops("s1", "t")
+        assert via_paths == pytest.approx(via_dp)
+
+    def test_path_count_counts_tunnels(self, running_example):
+        routing = fig1b_routing(running_example)
+        # s1: 3 paths, s2: 2 paths, v: 1 path.
+        assert path_count(routing) == 6
+
+    def test_cutoff_prunes_tiny_paths(self, running_example):
+        routing = fig1b_routing(running_example)
+        heavy = paths_for_pair(routing, "s1", "t", cutoff=0.3)
+        assert len(heavy) == 1
+
+    def test_unknown_target_raises(self, running_example):
+        routing = fig1b_routing(running_example)
+        with pytest.raises(RoutingError):
+            paths_for_pair(routing, "s1", "v")

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.demands.matrix import DemandMatrix
+from repro.fibbing.apportionment import apportion
+from repro.graph.dag import Dag
+from repro.graph.network import Network
+from repro.lp.mcf import min_congestion
+from repro.routing.propagation import propagate_to_destination
+from repro.routing.splitting import Routing
+from repro.topologies.generators import ring_with_chords
+from repro.utils.seeding import rng_from_seed, stable_hash
+
+# -- strategies ---------------------------------------------------------
+
+fractions = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=6,
+).filter(lambda fs: sum(fs) > 0.1)
+
+
+@st.composite
+def layered_dags(draw):
+    """A random 3-layer DAG with a single sink plus normalized ratios."""
+    width = draw(st.integers(min_value=1, max_value=3))
+    net = Network("layered")
+    layer1 = [f"a{i}" for i in range(width)]
+    layer2 = [f"b{i}" for i in range(draw(st.integers(1, 3)))]
+    edges = []
+    for u in layer1:
+        heads = draw(
+            st.lists(st.sampled_from(layer2), min_size=1, max_size=len(layer2), unique=True)
+        )
+        for v in heads:
+            net.add_edge(u, v, 1.0)
+            edges.append((u, v))
+    for v in layer2:
+        net.add_edge(v, "t", 1.0)
+        edges.append((v, "t"))
+    dag = Dag("t", edges, net)
+    ratios = {}
+    for node in dag.nodes():
+        if node == "t":
+            continue
+        heads = dag.out_neighbors(node)
+        raw = [
+            draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+            for _ in heads
+        ]
+        total = sum(raw)
+        for head, r in zip(heads, raw):
+            ratios[(node, head)] = r / total
+    demands = {
+        u: draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        for u in layer1
+    }
+    return net, dag, ratios, demands
+
+
+# -- properties -----------------------------------------------------------
+
+
+@given(layered_dags())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_propagation_conserves_flow(case):
+    """Everything injected into a DAG arrives at the root."""
+    net, dag, ratios, demands = case
+    arrivals, edge_flows = propagate_to_destination(dag, ratios, demands)
+    injected = sum(demands.values())
+    assert math.isclose(arrivals["t"], injected, abs_tol=1e-9)
+    inflow_root = sum(f for (u, v), f in edge_flows.items() if v == "t")
+    assert math.isclose(inflow_root, injected, abs_tol=1e-9)
+
+
+@given(layered_dags())
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_loads_scale_linearly(case):
+    """Link loads are linear in the demand volume (Section III)."""
+    net, dag, ratios, demands = case
+    routing = Routing({"t": dag}, {"t": ratios}, validate=False).renormalized()
+    dm = DemandMatrix({(s, "t"): d for s, d in demands.items() if d > 0})
+    if not dm:
+        return
+    loads1 = routing.link_loads(dm)
+    loads3 = routing.link_loads(dm.scaled(3.0))
+    for edge, value in loads1.items():
+        assert math.isclose(loads3.get(edge, 0.0), 3.0 * value, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=4,
+    ).filter(lambda d: sum(d.values()) > 0.2),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60)
+def test_apportion_invariants(fractions_map, budget):
+    """Apportionment: seats within budget, at least one seat, error <= 1."""
+    seats = apportion(fractions_map, budget)
+    assert set(seats) == set(fractions_map)
+    assert all(0 <= s <= budget for s in seats.values())
+    total = sum(seats.values())
+    assert total >= 1
+    norm = sum(fractions_map.values())
+    for key, fraction in fractions_map.items():
+        assert abs(seats[key] / total - fraction / norm) <= 1.0
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=10))
+@settings(max_examples=50)
+def test_stable_hash_is_stable(seed, tag):
+    """Same inputs, same hash; and generators reproduce their streams."""
+    assert stable_hash(seed, tag) == stable_hash(seed, tag)
+    a = rng_from_seed(seed % (2**63), tag).random(4)
+    b = rng_from_seed(seed % (2**63), tag).random(4)
+    assert (a == b).all()
+
+
+@given(
+    st.integers(min_value=4, max_value=8),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_backbones_support_tiny_mcf(size, seed):
+    """Generated backbones are usable: strongly connected, routable."""
+    net = ring_with_chords("prop", size, size + 2, seed)
+    assert net.is_strongly_connected()
+    nodes = net.nodes()
+    dm = DemandMatrix({(nodes[0], nodes[-1]): 0.1})
+    result = min_congestion(net, dm)
+    assert result.alpha >= 0.0
+    assert result.alpha < 1.0  # tiny demand fits easily

@@ -1,0 +1,154 @@
+"""Tests for the Routing container and flow propagation."""
+
+import pytest
+
+from repro.demands.matrix import DemandMatrix
+from repro.exceptions import RoutingError
+from repro.graph.dag import Dag
+from repro.routing.propagation import (
+    load_coefficients,
+    propagate_to_destination,
+    source_fractions,
+)
+from repro.routing.splitting import Routing, uniform_ratios
+
+
+@pytest.fixture
+def example_routing(running_example, example_dag):
+    ratios = {
+        ("s1", "s2"): 0.5,
+        ("s1", "v"): 0.5,
+        ("s2", "t"): 0.5,
+        ("s2", "v"): 0.5,
+        ("v", "t"): 1.0,
+    }
+    return Routing({"t": example_dag}, {"t": ratios}, name="fig1b")
+
+
+class TestPropagation:
+    def test_fig1b_loads_for_extreme_demand(self, example_routing, running_example):
+        # Section II: demands (2, 0) put 3/2 units on (v, t) under ECMP.
+        loads = example_routing.link_loads(DemandMatrix({("s1", "t"): 2.0}))
+        assert loads[("v", "t")] == pytest.approx(1.5)
+        assert loads[("s2", "t")] == pytest.approx(0.5)
+
+    def test_max_link_utilization(self, example_routing, running_example):
+        mlu = example_routing.max_link_utilization(
+            DemandMatrix({("s1", "t"): 2.0}), running_example
+        )
+        assert mlu == pytest.approx(1.5)
+
+    def test_flow_conservation(self, example_dag):
+        ratios = uniform_ratios(example_dag)
+        arrivals, edge_flows = propagate_to_destination(
+            example_dag, ratios, {"s1": 2.0}
+        )
+        # Everything reaches the root.
+        assert arrivals["t"] == pytest.approx(2.0)
+        inflow_t = sum(f for (u, v), f in edge_flows.items() if v == "t")
+        assert inflow_t == pytest.approx(2.0)
+
+    def test_source_fractions_sum_at_root(self, example_dag):
+        ratios = uniform_ratios(example_dag)
+        fractions = source_fractions(example_dag, ratios, "s1")
+        assert fractions["s1"] == 1.0
+        assert fractions["t"] == pytest.approx(1.0)
+
+    def test_demand_outside_dag_raises(self, example_dag):
+        with pytest.raises(RoutingError, match="not part of the DAG"):
+            propagate_to_destination(example_dag, {}, {"zzz": 1.0})
+
+    def test_load_coefficients_match_loads(self, example_routing):
+        pairs = [("s1", "t"), ("s2", "t")]
+        coeffs = load_coefficients(
+            example_routing.dags, example_routing.ratios, pairs
+        )
+        dm = DemandMatrix({("s1", "t"): 2.0, ("s2", "t"): 1.0})
+        loads = example_routing.link_loads(dm)
+        for edge, per_pair in coeffs.items():
+            linear = sum(dm.get(*pair) * c for pair, c in per_pair.items())
+            assert linear == pytest.approx(loads.get(edge, 0.0), abs=1e-9)
+
+
+class TestValidation:
+    def test_valid_routing_passes(self, example_routing):
+        example_routing.validate()
+
+    def test_ratios_must_sum_to_one(self, example_dag):
+        bad = {
+            ("s1", "s2"): 0.7,
+            ("s1", "v"): 0.7,
+            ("s2", "t"): 1.0,
+            ("s2", "v"): 0.0,
+            ("v", "t"): 1.0,
+        }
+        with pytest.raises(RoutingError, match="sum to"):
+            Routing({"t": example_dag}, {"t": bad})
+
+    def test_negative_ratio_rejected(self, example_dag):
+        bad = {
+            ("s1", "s2"): 1.5,
+            ("s1", "v"): -0.5,
+            ("s2", "t"): 1.0,
+            ("s2", "v"): 0.0,
+            ("v", "t"): 1.0,
+        }
+        with pytest.raises(RoutingError, match="negative"):
+            Routing({"t": example_dag}, {"t": bad})
+
+    def test_ratio_outside_dag_rejected(self, running_example, example_dag):
+        bad = uniform_ratios(example_dag)
+        bad[("v", "s1")] = 0.5  # not a DAG edge
+        with pytest.raises(RoutingError, match="not a DAG edge"):
+            Routing({"t": example_dag}, {"t": bad})
+
+    def test_wrong_root_key_rejected(self, example_dag):
+        with pytest.raises(RoutingError, match="rooted at"):
+            Routing({"s1": example_dag}, {"s1": uniform_ratios(example_dag)})
+
+    def test_renormalized_fixes_drift(self, example_dag):
+        drifted = {
+            ("s1", "s2"): 0.5000001,
+            ("s1", "v"): 0.5,
+            ("s2", "t"): 1.0,
+            ("s2", "v"): 0.0,
+            ("v", "t"): 1.0,
+        }
+        routing = Routing(
+            {"t": example_dag}, {"t": drifted}, validate=False
+        ).renormalized()
+        routing.validate()
+
+    def test_missing_dag_raises_on_use(self, example_routing):
+        with pytest.raises(RoutingError, match="no DAG"):
+            example_routing.link_loads(DemandMatrix({("s1", "v"): 1.0}))
+
+
+class TestMetrics:
+    def test_expected_hops(self, example_routing):
+        # s1: 0.5 * (via s2) + 0.5 * (via v); both sub-paths expected
+        # lengths: s2 -> 0.5*1 + 0.5*2 = 1.5; v -> 1.
+        assert example_routing.expected_hops("s1", "t") == pytest.approx(
+            0.5 * (1 + 1.5) + 0.5 * (1 + 1)
+        )
+
+    def test_stretch_against_self_is_one(self, example_routing):
+        assert example_routing.average_stretch_against(example_routing) == pytest.approx(1.0)
+
+    def test_with_ratios_replaces(self, example_routing, example_dag):
+        new = {
+            ("s1", "s2"): 1.0,
+            ("s1", "v"): 0.0,
+            ("s2", "t"): 1.0,
+            ("s2", "v"): 0.0,
+            ("v", "t"): 1.0,
+        }
+        routing = example_routing.with_ratios({"t": new}, name="direct")
+        assert routing.name == "direct"
+        loads = routing.link_loads(DemandMatrix({("s1", "t"): 1.0}))
+        assert loads[("s2", "t")] == pytest.approx(1.0)
+
+    def test_uniform_ratios_cover_all_nodes(self, example_dag):
+        ratios = uniform_ratios(example_dag)
+        assert ratios[("s2", "t")] == pytest.approx(0.5)
+        assert ratios[("v", "t")] == pytest.approx(1.0)

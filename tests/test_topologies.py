@@ -1,0 +1,156 @@
+"""Tests for topology data, generators, and the registry."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topologies.generators import (
+    grid_network,
+    integer_gadget_network,
+    path_sink_network,
+    prototype_network,
+    ring_network,
+    ring_with_chords,
+    running_example_network,
+    tree_with_chords,
+)
+from repro.topologies.zoo import (
+    STRETCH_TOPOLOGIES,
+    TABLE1_TOPOLOGIES,
+    available_topologies,
+    load_topology,
+    topology_info,
+)
+
+
+class TestRegistry:
+    def test_sixteen_topologies(self):
+        assert len(available_topologies()) == 16
+
+    def test_all_loadable_and_connected(self):
+        for name in available_topologies():
+            net = load_topology(name)
+            assert net.is_strongly_connected(), name
+            assert net.num_nodes >= 10 or name in ("gambia",)
+
+    def test_node_counts_match_spec(self):
+        for name in available_topologies():
+            spec = topology_info(name)
+            net = load_topology(name)
+            assert net.num_nodes == spec.nodes, name
+
+    def test_link_counts_match_spec(self):
+        for name in available_topologies():
+            spec = topology_info(name)
+            net = load_topology(name)
+            assert net.num_edges == 2 * spec.links, name
+
+    def test_deterministic_generation(self):
+        a = load_topology("as1755")
+        b = load_topology("as1755")
+        assert a.edges() == b.edges()
+        assert a.capacities() == b.capacities()
+
+    def test_case_insensitive_lookup(self):
+        assert topology_info("GEANT").name == "geant"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            load_topology("arpanet-1969")
+
+    def test_table1_excludes_near_trees(self):
+        assert "bbnplanet" not in TABLE1_TOPOLOGIES
+        assert "gambia" not in TABLE1_TOPOLOGIES
+        assert len(TABLE1_TOPOLOGIES) == 14
+
+    def test_stretch_set_excludes_gambia_only(self):
+        assert "gambia" not in STRETCH_TOPOLOGIES
+        assert "bbnplanet" in STRETCH_TOPOLOGIES
+        assert len(STRETCH_TOPOLOGIES) == 15
+
+    def test_abilene_known_structure(self):
+        net = load_topology("abilene")
+        assert net.num_nodes == 11
+        assert net.has_edge("Seattle", "Denver")
+        assert net.capacity("Chicago", "NewYork") == 10.0
+
+
+class TestGadgets:
+    def test_running_example_structure(self):
+        net = running_example_network()
+        assert net.num_nodes == 4
+        assert net.capacity("s2", "t") == 1.0
+
+    def test_running_example_infinite_sides(self):
+        net = running_example_network(infinite_side_links=True)
+        assert net.capacity("s1", "s2") > 1e5
+        assert net.capacity("v", "t") == 1.0
+
+    def test_prototype_triangle(self):
+        net = prototype_network(bandwidth=2.0)
+        assert net.num_nodes == 3
+        assert net.capacity("s1", "t") == 2.0
+
+    def test_integer_gadget_structure(self):
+        net = integer_gadget_network([3, 5])
+        assert net.has_edge("s1", "x1_0") and net.capacity("s1", "x1_0") == 6.0
+        assert net.has_edge("x1_1", "x2_1") and net.capacity("x1_1", "x2_1") == 5.0
+        assert net.has_edge("m_0", "t") and net.capacity("m_0", "t") == 6.0
+        # Gadget-internal links are bidirectional; source links are not.
+        assert net.has_edge("x2_0", "x1_0")
+        assert not net.has_edge("x1_0", "s1")
+
+    def test_integer_gadget_mincut(self):
+        # The min cut from {s1, s2} to t is 2 * SUM (the (m_i, t) edges).
+        weights = [2, 3]
+        net = integer_gadget_network(weights)
+        cut = sum(net.capacity(f"m_{i}", "t") for i in range(len(weights)))
+        assert cut == 2 * sum(weights)
+
+    def test_integer_gadget_rejects_bad_weights(self):
+        with pytest.raises(TopologyError):
+            integer_gadget_network([])
+        with pytest.raises(TopologyError):
+            integer_gadget_network([1, 0])
+
+    def test_path_sink_structure(self):
+        net = path_sink_network(5)
+        assert net.num_nodes == 6
+        assert net.capacity("x3", "t") == 1.0
+        assert math.isinf(net.capacity("x1", "x2")) or net.capacity("x1", "x2") > 1e5
+
+    def test_path_sink_too_short(self):
+        with pytest.raises(TopologyError):
+            path_sink_network(1)
+
+
+class TestGenerators:
+    def test_ring(self):
+        net = ring_network(5)
+        assert net.num_nodes == 5 and net.num_edges == 10
+        assert net.is_strongly_connected()
+
+    def test_grid(self):
+        net = grid_network(3, 4)
+        assert net.num_nodes == 12
+        assert net.is_strongly_connected()
+
+    def test_ring_with_chords_counts(self):
+        net = ring_with_chords("test", 12, 20, seed=1)
+        assert net.num_nodes == 12
+        assert net.num_edges == 40  # 20 undirected links
+
+    def test_ring_with_chords_two_connected(self):
+        net = ring_with_chords("test", 10, 14, seed=2)
+        # Removing any single link keeps the ring strongly connected.
+        assert net.is_strongly_connected()
+
+    def test_tree_with_chords_counts(self):
+        net = tree_with_chords("tree", 10, 2, seed=3)
+        assert net.num_nodes == 10
+        assert net.num_edges == 2 * (9 + 2)
+
+    def test_chord_budget_validated(self):
+        with pytest.raises(TopologyError):
+            ring_with_chords("x", 10, 5, seed=1)
