@@ -1,10 +1,11 @@
-"""Command-line interface: run experiments, inspect topologies.
+"""Command-line interface: run experiments, sweep grids, inspect topologies.
 
 Examples:
     repro list
     repro run running-example
     repro run fig6 --full
-    repro run table1 --csv /tmp/table1.csv
+    repro run table1 --csv /tmp/table1.csv --jobs 4
+    repro sweep table1 --jobs 4 --out artifacts/
     repro topo geant
 """
 
@@ -16,29 +17,104 @@ import time
 
 from repro.config import ExperimentConfig
 from repro.exceptions import ReproError
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_spec,
+    run_experiment,
+    sweepable_experiment_ids,
+)
+from repro.runner.artifacts import write_artifacts
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import run_sweep
 from repro.topologies.zoo import available_topologies, load_topology, topology_info
 from repro.utils.tables import format_csv, format_markdown
 
 
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The single ExperimentConfig source for a CLI invocation.
+
+    ``--full`` selects the paper-scale config (margins *and* topology
+    subsets, via ``config.full``); otherwise the environment decides.
+    """
+    return ExperimentConfig.paper() if args.full else ExperimentConfig.from_environment()
+
+
+def _cache_from(args: argparse.Namespace, default_on: bool) -> ResultCache | None:
+    """The result cache an invocation should use, if any.
+
+    ``repro sweep`` caches by default (``default_on=True``); ``repro run``
+    solves fresh unless ``--cache-dir`` opts in, so editing solver code and
+    re-running the established command can never serve stale rows.
+    """
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return ResultCache(args.cache_dir)
+    return ResultCache(default_cache_dir()) if default_on else None
+
+
+def _write_csv(table, path: str | None) -> None:
+    if not path:
+        return
+    with open(path, "w") as handle:
+        handle.write(format_csv(table))
+    print(f"CSV written to {path}")
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(eid) for eid in EXPERIMENTS)
+    sweepable = set(sweepable_experiment_ids())
     for experiment in EXPERIMENTS.values():
-        print(f"{experiment.id:<{width}}  {experiment.description}")
+        tag = " [sweep]" if experiment.id in sweepable else ""
+        print(f"{experiment.id:<{width}}  {experiment.description}{tag}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig.paper() if args.full else ExperimentConfig.from_environment()
+    config = _experiment_config(args)
+    experiment = EXPERIMENTS[args.experiment]
     started = time.time()
-    table = run_experiment(args.experiment, config)
+    if experiment.grid is not None:
+        report = run_sweep(
+            experiment.grid(config), jobs=args.jobs, cache=_cache_from(args, default_on=False)
+        )
+        table = report.table()
+        summary = f" [{report.summary()}]"
+        if report.cached:
+            # The cache keys hash config, not code: after editing solver code,
+            # cached rows are stale until CACHE_VERSION is bumped.
+            print(
+                f"note: {report.cached} of {len(report.results)} cells served from "
+                "the result cache; pass --no-cache to re-solve",
+                file=sys.stderr,
+            )
+    else:
+        if args.jobs > 1 or args.cache_dir or args.no_cache:
+            print(
+                f"note: {args.experiment} has no cell grid; --jobs/--cache-dir "
+                "apply only to sweepable experiments (see `repro list`)",
+                file=sys.stderr,
+            )
+        table = run_experiment(args.experiment, config)
+        summary = ""
     elapsed = time.time() - started
     print(format_markdown(table))
-    print(f"(completed in {elapsed:.1f}s)")
-    if args.csv:
-        with open(args.csv, "w") as handle:
-            handle.write(format_csv(table))
-        print(f"CSV written to {args.csv}")
+    print(f"(completed in {elapsed:.1f}s){summary}")
+    _write_csv(table, args.csv)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    spec = experiment_spec(args.experiment, config)
+    report = run_sweep(spec, jobs=args.jobs, cache=_cache_from(args, default_on=True))
+    table = report.table()
+    print(format_markdown(table))
+    print(report.summary())
+    if args.out:
+        for path in write_artifacts(report, args.out):
+            print(f"artifact written to {path}")
+    _write_csv(table, args.csv)
     return 0
 
 
@@ -61,6 +137,32 @@ def _cmd_topo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="result cache directory ($REPRO_CACHE_DIR or ~/.cache/repro; "
+        "`sweep` caches by default, `run` only when this flag is given)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="solve every cell even if a cached result exists",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,7 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS), metavar="EXPERIMENT")
     run.add_argument("--full", action="store_true", help="use the paper-scale grid")
     run.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    _add_runner_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a grid experiment through the parallel sweep runner",
+    )
+    sweep.add_argument(
+        "experiment", choices=sorted(sweepable_experiment_ids()), metavar="EXPERIMENT"
+    )
+    sweep.add_argument("--full", action="store_true", help="use the paper-scale grid")
+    sweep.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    sweep.add_argument(
+        "--out", metavar="DIR", help="write JSON artifacts (table + per-cell results)"
+    )
+    _add_runner_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     topo = sub.add_parser("topo", help="list topologies or show one")
     topo.add_argument("name", nargs="?", help="topology name (omit to list all)")

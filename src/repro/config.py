@@ -74,12 +74,19 @@ DEFAULT_CONFIG = SolverConfig()
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Parameters shared by the experiment drivers (margins, models, sizes)."""
+    """Parameters shared by the experiment drivers (margins, models, sizes).
+
+    ``full`` is the single source of truth for paper-scale vs reduced
+    grids: drivers that pick topology subsets consult it instead of
+    re-reading the ``REPRO_FULL`` environment variable, so a config built
+    from ``--full`` behaves identically to one built from the environment.
+    """
 
     margins: tuple[float, ...] = (1.0, 1.5, 2.0, 2.5, 3.0)
     solver: SolverConfig = field(default_factory=SolverConfig)
     demand_model: str = "gravity"
     seed: int = DEFAULT_CONFIG.seed
+    full: bool = False
 
     @classmethod
     def reduced(cls) -> "ExperimentConfig":
@@ -90,7 +97,7 @@ class ExperimentConfig:
     def paper(cls) -> "ExperimentConfig":
         """Full grid from Table I (margins 1..5 in 0.5 increments)."""
         margins = tuple(1.0 + 0.5 * i for i in range(9))
-        return cls(margins=margins)
+        return cls(margins=margins, full=True)
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":

@@ -21,8 +21,7 @@ from repro.core.robust import optimize_robust_splitting
 from repro.demands.uncertainty import UncertaintySet
 from repro.ecmp.routing import ecmp_routing
 from repro.ecmp.weights import inverse_capacity_weights
-from repro.exceptions import GraphError
-from repro.graph.network import Edge, Network
+from repro.graph.network import Network
 from repro.routing.splitting import Routing
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.config import ExperimentConfig, full_scale
+from repro.config import ExperimentConfig
 from repro.experiments.common import (
     base_matrix_for,
     coyote_partial_for_margin,
@@ -32,7 +32,7 @@ def fig11(
     """Regenerate Fig. 11 (average stretch at margin 2.5)."""
     config = config or ExperimentConfig.from_environment()
     if topologies is None:
-        topologies = STRETCH_TOPOLOGIES if full_scale() else REDUCED_TOPOLOGIES
+        topologies = STRETCH_TOPOLOGIES if config.full else REDUCED_TOPOLOGIES
     table = Table(
         f"Fig. 11 — average path stretch vs ECMP (margin {margin:g})",
         ["network", "COYOTE-obl", "COYOTE-pk"],

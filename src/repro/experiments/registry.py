@@ -12,21 +12,30 @@ from repro.experiments.fig10_approximation import fig10
 from repro.experiments.fig11_stretch import fig11
 from repro.experiments.fig12_prototype import fig12
 from repro.experiments.hardness import theorem1_table, theorem4_table
-from repro.experiments.margin_sweep import fig6, fig7, fig8
+from repro.experiments.margin_sweep import fig6, fig6_spec, fig7, fig7_spec, fig8, fig8_spec
 from repro.experiments.running_example import running_example_table
-from repro.experiments.table1 import table1_experiment
+from repro.experiments.table1 import table1_experiment, table1_spec
+from repro.runner.spec import SweepSpec
 from repro.utils.tables import Table
 
 Driver = Callable[[ExperimentConfig | None], Table]
+GridBuilder = Callable[[ExperimentConfig | None], SweepSpec]
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered experiment: id, description, driver."""
+    """A registered experiment: id, description, driver, optional grid.
+
+    Experiments whose evaluation decomposes into independent
+    (topology, demand model, margin) cells also declare a ``grid``
+    builder; those are the ones ``repro sweep`` (and ``repro run``'s
+    ``--jobs``/cache flags) can execute through the parallel runner.
+    """
 
     id: str
     description: str
     driver: Driver
+    grid: GridBuilder | None = None
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -47,14 +56,19 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Theorem 4 (Fig. 4): Omega(|V|) oblivious separation",
             theorem4_table,
         ),
-        Experiment("fig6", "Fig. 6: Geant, gravity margin sweep", fig6),
-        Experiment("fig7", "Fig. 7: Digex, gravity margin sweep", fig7),
-        Experiment("fig8", "Fig. 8: AS1755, bimodal margin sweep", fig8),
+        Experiment("fig6", "Fig. 6: Geant, gravity margin sweep", fig6, grid=fig6_spec),
+        Experiment("fig7", "Fig. 7: Digex, gravity margin sweep", fig7, grid=fig7_spec),
+        Experiment("fig8", "Fig. 8: AS1755, bimodal margin sweep", fig8, grid=fig8_spec),
         Experiment("fig9", "Fig. 9: Abilene, local-search heuristic", fig9),
         Experiment("fig10", "Fig. 10: virtual next-hop approximation", fig10),
         Experiment("fig11", "Fig. 11: average path stretch", fig11),
         Experiment("fig12", "Fig. 12: prototype packet-drop emulation", fig12),
-        Experiment("table1", "Table I: full margin sweep across topologies", table1_experiment),
+        Experiment(
+            "table1",
+            "Table I: full margin sweep across topologies",
+            table1_experiment,
+            grid=table1_spec,
+        ),
     ]
 }
 
@@ -63,11 +77,31 @@ def experiment_ids() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> Table:
-    """Run one experiment by id (raises ExperimentError for unknown ids)."""
+def sweepable_experiment_ids() -> list[str]:
+    """Ids of experiments that declare a cell grid (``repro sweep`` targets)."""
+    return [exp.id for exp in EXPERIMENTS.values() if exp.grid is not None]
+
+
+def experiment_spec(experiment_id: str, config: ExperimentConfig | None = None) -> SweepSpec:
+    """The declared sweep grid for one experiment (raises for non-grid ids)."""
+    experiment = _get_experiment(experiment_id)
+    if experiment.grid is None:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} does not decompose into sweep cells; "
+            f"sweepable: {', '.join(sweepable_experiment_ids())}"
+        )
+    return experiment.grid(config)
+
+
+def _get_experiment(experiment_id: str) -> Experiment:
     experiment = EXPERIMENTS.get(experiment_id)
     if experiment is None:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
         )
-    return experiment.driver(config)
+    return experiment
+
+
+def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> Table:
+    """Run one experiment by id (raises ExperimentError for unknown ids)."""
+    return _get_experiment(experiment_id).driver(config)

@@ -3,21 +3,23 @@
 The paper's Table I covers 14 topologies (all but the two near-trees)
 with margins 1.0..5.0 in 0.5 steps, gravity base demands.  The reduced
 default (used by the benchmark suite) runs a three-topology subset over
-margins {1, 2, 3}; set ``REPRO_FULL=1`` for the paper grid.
+margins {1, 2, 3}; pass ``--full`` (or set ``REPRO_FULL=1``) for the
+paper grid.
+
+The driver declares the (topology x margin) grid as a
+:class:`~repro.runner.SweepSpec`; the sweep runner executes it serially
+or across a process pool and reassembles the table in the declared
+topology-major order.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.config import ExperimentConfig, full_scale
-from repro.experiments.common import (
-    SCHEME_COLUMNS,
-    base_matrix_for,
-    evaluate_margin,
-    prepare_setup,
-)
-from repro.topologies.zoo import TABLE1_TOPOLOGIES, load_topology, topology_info
+from repro.config import ExperimentConfig
+from repro.runner.executor import run_sweep
+from repro.runner.spec import SweepSpec, grid_cells
+from repro.topologies.zoo import TABLE1_TOPOLOGIES
 from repro.utils.tables import Table
 
 #: Subset used when the full grid was not requested (small and fast,
@@ -25,35 +27,44 @@ from repro.utils.tables import Table
 REDUCED_TOPOLOGIES: tuple[str, ...] = ("abilene", "nsf", "germany")
 
 
+def table1_spec(
+    config: ExperimentConfig | None = None,
+    topologies: Sequence[str] | None = None,
+) -> SweepSpec:
+    """Declare the Table I grid (gravity base model).
+
+    Args:
+        config: margins + solver knobs; ``config.full`` selects the
+            paper-scale topology set.
+        topologies: topology names; defaults to the full Table I set when
+            ``config.full``, else :data:`REDUCED_TOPOLOGIES`.
+    """
+    config = config or ExperimentConfig.from_environment()
+    if topologies is None:
+        topologies = TABLE1_TOPOLOGIES if config.full else REDUCED_TOPOLOGIES
+    cells = grid_cells(
+        "table1",
+        list(topologies),
+        config.demand_model,
+        config.margins,
+        config.solver,
+        config.seed,
+    )
+    notes = [f"topologies={list(topologies)}, margins={config.margins}"]
+    if not config.full:
+        notes.append("reduced grid; set REPRO_FULL=1 for the paper-scale table")
+    return SweepSpec(
+        experiment="table1",
+        title="Table I — COYOTE vs ECMP and Base (gravity)",
+        cells=cells,
+        with_topology_column=True,
+        notes=tuple(notes),
+    )
+
+
 def table1_experiment(
     config: ExperimentConfig | None = None,
     topologies: Sequence[str] | None = None,
 ) -> Table:
-    """Regenerate Table I (gravity base model).
-
-    Args:
-        topologies: topology names; defaults to the full Table I set when
-            ``REPRO_FULL=1``, else :data:`REDUCED_TOPOLOGIES`.
-        config: margins + solver knobs.
-    """
-    config = config or ExperimentConfig.from_environment()
-    if topologies is None:
-        topologies = TABLE1_TOPOLOGIES if full_scale() else REDUCED_TOPOLOGIES
-    table = Table(
-        "Table I — COYOTE vs ECMP and Base (gravity)",
-        ["network", "margin", *SCHEME_COLUMNS],
-    )
-    for name in topologies:
-        spec = topology_info(name)
-        network = load_topology(name)
-        base = base_matrix_for(network, config.demand_model, config.seed)
-        setup = prepare_setup(network, base, config.solver)
-        for margin in config.margins:
-            ratios = evaluate_margin(setup, margin)
-            table.add_row(
-                spec.paper_label, margin, *(ratios[s] for s in SCHEME_COLUMNS)
-            )
-    table.add_note(f"topologies={list(topologies)}, margins={config.margins}")
-    if not full_scale():
-        table.add_note("reduced grid; set REPRO_FULL=1 for the paper-scale table")
-    return table
+    """Regenerate Table I (gravity base model), serially."""
+    return run_sweep(table1_spec(config, topologies)).table()

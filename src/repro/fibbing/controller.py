@@ -17,11 +17,9 @@ falsified database reproduces the optimized configuration.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.exceptions import FibbingError
 from repro.fibbing.lies import lies_for_routing
 from repro.graph.network import Edge, Network, Node
 from repro.ospf.domain import OspfDomain

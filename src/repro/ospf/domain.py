@@ -23,7 +23,7 @@ from typing import Iterable, Mapping
 from repro.exceptions import OspfError
 from repro.graph.dag import Dag
 from repro.graph.network import Edge, Network, Node
-from repro.ospf.lsa import FakeNodeLsa, Lsa, PrefixLsa
+from repro.ospf.lsa import FakeNodeLsa, PrefixLsa
 from repro.ospf.router import Router
 from repro.routing.splitting import Routing
 

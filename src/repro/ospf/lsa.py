@@ -17,7 +17,7 @@ copies, mirroring the real protocol's freshness rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import OspfError
 

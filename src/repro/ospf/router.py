@@ -8,7 +8,6 @@ next-hop set (with multiplicities from virtual links).
 
 from __future__ import annotations
 
-from repro.exceptions import OspfError
 from repro.ospf.lsa import Lsa, LsaLink, RouterLsa
 from repro.ospf.lsdb import LinkStateDatabase
 from repro.ospf.spf import NextHop, SpfCalculator, SpfGraph

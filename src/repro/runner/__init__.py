@@ -1,0 +1,28 @@
+"""Parallel sweep runner: cell decomposition, process-pool execution,
+content-addressed result caching, and JSON artifacts.
+
+The experiment drivers declare their grids as :class:`SweepSpec`s;
+:func:`run_sweep` executes them serially or across a process pool and
+reassembles tables in deterministic cell order.  See DESIGN notes in the
+submodules for the cache layout and key derivation.
+"""
+
+from repro.runner.artifacts import write_artifacts
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import CellResult, SweepReport, run_sweep, solve_cell
+from repro.runner.spec import CACHE_VERSION, SweepCell, SweepSpec, cell_key, grid_cells
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellResult",
+    "ResultCache",
+    "SweepCell",
+    "SweepReport",
+    "SweepSpec",
+    "cell_key",
+    "default_cache_dir",
+    "grid_cells",
+    "run_sweep",
+    "solve_cell",
+    "write_artifacts",
+]

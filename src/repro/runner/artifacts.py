@@ -1,0 +1,58 @@
+"""JSON artifact output for completed sweeps.
+
+``repro sweep EXP --out DIR`` (and the CI smoke job) persist two files
+per experiment:
+
+* ``<experiment>.table.json`` — the assembled table (title, columns,
+  rows, notes) plus run counters; enough to re-render or diff a sweep
+  without re-solving anything.
+* ``<experiment>.cells.json`` — one record per cell with its full cache
+  fingerprint, content key, scheme ratios, and whether it was served
+  from cache; the raw material for cross-run regression comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runner.executor import SweepReport
+
+
+def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
+    """Write the table and per-cell JSON artifacts; returns the paths."""
+    out = Path(out_dir).expanduser()
+    out.mkdir(parents=True, exist_ok=True)
+    table = report.table()
+
+    table_path = out / f"{report.spec.experiment}.table.json"
+    table_payload = {
+        "experiment": report.spec.experiment,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+        "solved": report.solved,
+        "cached": report.cached,
+        "jobs": report.jobs,
+        "elapsed_seconds": round(report.elapsed, 3),
+    }
+    with open(table_path, "w") as handle:
+        json.dump(table_payload, handle, indent=2)
+        handle.write("\n")
+
+    cells_path = out / f"{report.spec.experiment}.cells.json"
+    cells_payload = [
+        {
+            "key": result.key,
+            "fingerprint": result.cell.fingerprint(),
+            "result": result.ratios,
+            "cached": result.cached,
+        }
+        for result in report.results
+    ]
+    with open(cells_path, "w") as handle:
+        json.dump(cells_payload, handle, indent=2)
+        handle.write("\n")
+
+    return [table_path, cells_path]

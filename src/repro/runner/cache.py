@@ -1,0 +1,105 @@
+"""Content-addressed on-disk cache for solved sweep cells.
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/<key[:2]>/<key>.json
+
+where ``key`` is :func:`repro.runner.spec.cell_key` — a hash over the
+topology, demand model, margin, seed, optimizer, every
+:class:`~repro.config.SolverConfig` field, and the runner's
+:data:`~repro.runner.spec.CACHE_VERSION` tag.  Any of those changing
+yields a different key, so stale results are never returned; they are
+simply never looked up again.
+
+Each entry stores the full cell fingerprint alongside the result, so a
+(vanishingly unlikely) hash collision is detected by comparing
+fingerprints rather than silently returning the wrong row.  Writes are
+atomic (temp file + ``os.replace``) so parallel workers and concurrent
+sweeps can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.experiments.common import SCHEME_COLUMNS
+from repro.runner.spec import SweepCell, cell_key
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV, "")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """Get/put solved cell results keyed by content hash."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+
+    def path_for(self, cell: SweepCell) -> Path:
+        key = cell_key(cell)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: SweepCell) -> dict[str, float] | None:
+        """The cached scheme->ratio dict for ``cell``, or None on a miss.
+
+        Unreadable or mismatched entries (corrupt JSON, fingerprint
+        collision, a result missing scheme columns) are treated as
+        misses, never as errors.
+        """
+        path = self.path_for(cell)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("fingerprint") != cell.fingerprint():
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict) or not set(result) >= set(SCHEME_COLUMNS):
+            return None
+        try:
+            return {str(scheme): float(ratio) for scheme, ratio in result.items()}
+        except (TypeError, ValueError):
+            return None
+
+    def put(self, cell: SweepCell, result: dict[str, float]) -> Path:
+        """Atomically store ``result`` for ``cell``; returns the entry path."""
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": cell_key(cell),
+            "experiment": cell.experiment,
+            "fingerprint": cell.fingerprint(),
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

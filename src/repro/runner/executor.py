@@ -1,0 +1,256 @@
+"""Parallel sweep execution: fan cells out, reassemble tables in order.
+
+``jobs == 1`` runs cells in-process (and therefore shares one
+:class:`~repro.experiments.common.ExperimentSetup` per topology exactly
+like the historical serial drivers); ``jobs > 1`` fans the unsolved
+cells over a :class:`concurrent.futures.ProcessPoolExecutor`.  Cells
+that share a setup key (same topology, demand model, seed, solver) are
+chunked onto one worker so the expensive margin-independent setup (DAG
+construction, ECMP projection, the oblivious optimization) is built
+once per chunk; chunks are split only when workers would otherwise sit
+idle, bounding setup duplication to the worker count.  A small
+per-process memo additionally shares setups between chunks that land on
+the same long-lived worker.
+
+Results are reassembled strictly in ``spec.cells`` order regardless of
+completion order, so a parallel sweep emits a table row-for-row
+identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.common import (
+    SCHEME_COLUMNS,
+    base_matrix_for,
+    evaluate_margin,
+    prepare_setup,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.spec import SweepCell, SweepSpec, cell_key
+from repro.topologies.zoo import load_topology, topology_info
+from repro.utils.tables import Table
+
+#: Per-process cap on memoized setups; grids iterate margins within one
+#: topology, so a handful of live setups covers realistic schedules.
+_SETUP_MEMO_LIMIT = 4
+
+_SETUP_MEMO: dict[tuple, object] = {}
+
+
+def _setup_for(cell: SweepCell):
+    """The margin-independent setup for a cell, memoized per process."""
+    key = cell.setup_key()
+    setup = _SETUP_MEMO.get(key)
+    if setup is None:
+        network = load_topology(cell.topology)
+        base = base_matrix_for(network, cell.demand_model, cell.seed)
+        setup = prepare_setup(network, base, cell.solver, optimizer=cell.optimizer)
+        while len(_SETUP_MEMO) >= _SETUP_MEMO_LIMIT:
+            _SETUP_MEMO.pop(next(iter(_SETUP_MEMO)))
+        _SETUP_MEMO[key] = setup
+    return setup
+
+
+def solve_cell(cell: SweepCell) -> dict[str, float]:
+    """Solve one cell: all four schemes' worst-case ratios at its margin."""
+    return evaluate_margin(_setup_for(cell), cell.margin)
+
+
+def _solve_chunk(
+    solve: Callable[[SweepCell], dict[str, float]], cells: list[SweepCell]
+) -> list[tuple[str, object, str | None]]:
+    """Solve same-setup cells serially in one worker, stopping at a failure.
+
+    Returns per-cell ("ok", ratios, None) / ("error", exception, detail)
+    outcomes so the parent still records and caches every cell solved
+    before a failure.  ``detail`` carries the failing cell's identity and
+    the worker-side traceback, which pickling the exception alone would
+    lose.
+    """
+    outcomes: list[tuple[str, object, str | None]] = []
+    for cell in cells:
+        try:
+            outcomes.append(("ok", solve(cell), None))
+        except Exception as error:
+            detail = (
+                f"cell {cell.topology}/{cell.demand_model} margin={cell.margin:g} "
+                f"failed in worker:\n{traceback.format_exc()}"
+            )
+            outcomes.append(("error", error, detail))
+            break
+    return outcomes
+
+
+def _chunk_pending(
+    pending: list[tuple[int, SweepCell]], workers: int
+) -> list[list[tuple[int, SweepCell]]]:
+    """Group unsolved cells by setup key, splitting groups to fill workers.
+
+    One chunk = one worker task: its cells share a setup, so the expensive
+    margin-independent preparation runs once per chunk.  Groups are split
+    in half (largest first) only while workers would otherwise be idle.
+    """
+    groups: dict[tuple, list[tuple[int, SweepCell]]] = {}
+    for index, cell in pending:
+        groups.setdefault(cell.setup_key(), []).append((index, cell))
+    chunks = list(groups.values())
+    while len(chunks) < workers and any(len(chunk) > 1 for chunk in chunks):
+        chunks.sort(key=len)
+        largest = chunks.pop()
+        half = len(largest) // 2
+        chunks += [largest[:half], largest[half:]]
+    return chunks
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One solved (or cache-served) cell."""
+
+    cell: SweepCell
+    key: str
+    ratios: dict[str, float]
+    cached: bool
+
+
+@dataclass
+class SweepReport:
+    """A completed sweep: per-cell results in spec order, plus counters."""
+
+    spec: SweepSpec
+    results: list[CellResult]
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for result in self.results if not result.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for result in self.results if result.cached)
+
+    def table(self) -> Table:
+        """Reassemble the table in declared cell order."""
+        table = Table(self.spec.title, list(self.spec.columns()))
+        for result in self.results:
+            cell = result.cell
+            prefix: tuple = ()
+            if self.spec.with_topology_column:
+                prefix = (topology_info(cell.topology).paper_label,)
+            table.add_row(
+                *prefix,
+                cell.margin,
+                *(result.ratios[scheme] for scheme in SCHEME_COLUMNS),
+            )
+        for note in self.spec.notes:
+            table.add_note(note)
+        return table
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.results)} cells: {self.solved} solved, "
+            f"{self.cached} from cache (jobs={self.jobs}, {self.elapsed:.1f}s)"
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    solve: Callable[[SweepCell], dict[str, float]] = solve_cell,
+) -> SweepReport:
+    """Execute a sweep spec and reassemble its table deterministically.
+
+    Args:
+        spec: the declared grid.
+        jobs: worker processes; 1 solves in-process, serially.
+        cache: optional result cache consulted before solving and updated
+            after; ``None`` disables caching entirely.
+        solve: cell solver (injectable for tests).
+
+    Returns:
+        A :class:`SweepReport` whose ``results`` align 1:1 with
+        ``spec.cells``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    started = time.time()
+    ratios_by_index: dict[int, dict[str, float]] = {}
+    cached_indexes: set[int] = set()
+
+    pending: list[tuple[int, SweepCell]] = []
+    for index, cell in enumerate(spec.cells):
+        hit = cache.get(cell) if cache is not None else None
+        if hit is not None:
+            ratios_by_index[index] = hit
+            cached_indexes.add(index)
+        else:
+            pending.append((index, cell))
+
+    # Results are cached as they arrive, not after the sweep completes, so
+    # an interrupted or partially failed run preserves every solved cell.
+    def record(index: int, cell: SweepCell, ratios: dict[str, float]) -> None:
+        ratios_by_index[index] = ratios
+        if cache is not None:
+            cache.put(cell, ratios)
+
+    if pending and jobs > 1:
+        chunks = _chunk_pending(pending, jobs)
+        workers = min(jobs, len(chunks))
+        first_error: Exception | None = None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_map = {
+                pool.submit(_solve_chunk, solve, [cell for _, cell in chunk]): chunk
+                for chunk in chunks
+            }
+
+            def fail_fast(error: Exception) -> None:
+                nonlocal first_error
+                if first_error is None:
+                    first_error = error
+                    for other in future_map:
+                        other.cancel()
+
+            # as_completed (not submission order) so every finished chunk is
+            # cached even when another chunk fails while it was in flight.
+            for future in as_completed(future_map):
+                chunk = future_map[future]
+                try:
+                    outcomes = future.result()
+                except CancelledError:
+                    continue
+                except Exception as error:
+                    fail_fast(error)
+                    continue
+                for (index, cell), (status, value, detail) in zip(chunk, outcomes):
+                    if status == "ok":
+                        record(index, cell, value)
+                    else:
+                        # Re-attach the worker-side context lost to pickling:
+                        # `raise first_error` then chains the original
+                        # traceback and failing-cell identity as its cause.
+                        value.__cause__ = RuntimeError(detail)
+                        fail_fast(value)
+            if first_error is not None:
+                raise first_error
+    else:
+        for index, cell in pending:
+            record(index, cell, solve(cell))
+
+    results = [
+        CellResult(
+            cell=cell,
+            key=cell_key(cell),
+            ratios=ratios_by_index[index],
+            cached=index in cached_indexes,
+        )
+        for index, cell in enumerate(spec.cells)
+    ]
+    return SweepReport(spec=spec, results=results, elapsed=time.time() - started, jobs=jobs)

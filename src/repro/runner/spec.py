@@ -1,0 +1,154 @@
+"""Sweep decomposition: cells, specs, and stable cache keys.
+
+The evaluation grids (Figs. 6-8, Table I) are embarrassingly parallel:
+every (topology, demand model, margin) triple is an independent robust
+optimization whose result is one table row.  :class:`SweepCell` captures
+exactly the inputs that determine that row, :class:`SweepSpec` is a
+driver-declared list of cells plus presentation metadata, and
+:func:`cell_key` derives the content-addressed cache key a cell's result
+is stored under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from repro.config import SolverConfig
+from repro.experiments.common import SCHEME_COLUMNS
+
+#: Version tag folded into every cache key.  Bump whenever solver or
+#: evaluation semantics change in a way that invalidates stored results.
+CACHE_VERSION = "runner-v1"
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work: a single table row.
+
+    Attributes:
+        experiment: registry id of the owning experiment (for artifacts).
+        topology: registered topology name (e.g. "geant").
+        demand_model: "gravity" or "bimodal".
+        margin: uncertainty margin for the worst-case oracle.
+        seed: RNG seed forwarded to the demand sampler.
+        solver: solver knobs; every field participates in the cache key.
+        optimizer: inner splitting optimizer ("softmax" or "gp").
+    """
+
+    experiment: str
+    topology: str
+    demand_model: str
+    margin: float
+    seed: int
+    solver: SolverConfig
+    optimizer: str = "softmax"
+
+    def fingerprint(self) -> dict[str, Any]:
+        """A JSON-serializable dict of everything that determines the result.
+
+        The experiment id is deliberately excluded: fig6 and a table1 block
+        over the same (topology, model, margin, solver) solve the same cell
+        and share one cache entry.
+        """
+        return {
+            "version": CACHE_VERSION,
+            "schemes": list(SCHEME_COLUMNS),
+            "topology": self.topology,
+            "demand_model": self.demand_model,
+            "margin": self.margin,
+            "seed": self.seed,
+            "optimizer": self.optimizer,
+            "solver": {
+                "lp_tolerance": self.solver.lp_tolerance,
+                "ratio_tolerance": self.solver.ratio_tolerance,
+                "max_adversarial_rounds": self.solver.max_adversarial_rounds,
+                "max_inner_iterations": self.solver.max_inner_iterations,
+                "smoothing_temperatures": list(self.solver.smoothing_temperatures),
+                "min_ratio": self.solver.min_ratio,
+                "regularization": self.solver.regularization,
+                "seed": self.solver.seed,
+            },
+        }
+
+    def setup_key(self) -> tuple:
+        """Hashable key of the margin-independent preparation work.
+
+        Cells that share a setup key reuse one :class:`ExperimentSetup`
+        (DAGs, ECMP, Base, the oblivious routing) within a worker process.
+        """
+        return (self.topology, self.demand_model, self.seed, self.solver, self.optimizer)
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Stable content hash of a cell (hex sha256 prefix).
+
+    Keys are process- and platform-independent: they hash the canonical
+    JSON encoding of :meth:`SweepCell.fingerprint`, so any change to the
+    topology name, demand model, margin, seed, optimizer, any
+    :class:`SolverConfig` field, the scheme column set, or
+    :data:`CACHE_VERSION` produces a new key and therefore a cache miss.
+    """
+    payload = json.dumps(cell.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declared sweep: the cell grid plus table presentation metadata.
+
+    Attributes:
+        experiment: registry id (names the artifact files).
+        title: table title.
+        cells: the grid, in the deterministic order rows are emitted.
+        with_topology_column: prefix each row with the topology's paper
+            label (Table I style) instead of a margin-only row (Fig. 6-8).
+        notes: free-form table annotations, appended after the rows.
+    """
+
+    experiment: str
+    title: str
+    cells: tuple[SweepCell, ...]
+    with_topology_column: bool = False
+    notes: tuple[str, ...] = ()
+
+    def columns(self) -> tuple[str, ...]:
+        prefix = ("network",) if self.with_topology_column else ()
+        return (*prefix, "margin", *SCHEME_COLUMNS)
+
+    def with_solver(self, solver: SolverConfig) -> "SweepSpec":
+        """A copy of the spec with every cell's solver config replaced."""
+        cells = tuple(replace(cell, solver=solver) for cell in self.cells)
+        return replace(self, cells=cells)
+
+
+def grid_cells(
+    experiment: str,
+    topologies: Sequence[str],
+    demand_model: str,
+    margins: Iterable[float],
+    solver: SolverConfig,
+    seed: int,
+    optimizer: str = "softmax",
+) -> tuple[SweepCell, ...]:
+    """Enumerate a (topology x margin) grid in deterministic row order.
+
+    Topology-major ordering matches how the serial drivers looped, so the
+    reassembled tables are row-for-row identical to the historical output.
+    """
+    margins = tuple(margins)
+    return tuple(
+        SweepCell(
+            experiment=experiment,
+            topology=topology,
+            demand_model=demand_model,
+            margin=margin,
+            seed=seed,
+            solver=solver,
+            optimizer=optimizer,
+        )
+        for topology in topologies
+        for margin in margins
+    )

@@ -18,11 +18,10 @@ counts (see ``repro.topologies.zoo``).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.exceptions import TopologyError
-from repro.graph.network import INFINITE_CAPACITY, Network
+from repro.graph.network import Network
 from repro.utils.seeding import rng_from_seed
 
 #: Stand-in for "arbitrarily high" capacity that keeps LPs bounded: any

@@ -1,8 +1,28 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, main
+from repro.experiments.common import SCHEME_COLUMNS
+from repro.runner.executor import CellResult, SweepReport
+from repro.runner.spec import cell_key
+
+
+def fake_run_sweep(spec, *, jobs=1, cache=None, **_kwargs):
+    """Stand-in for run_sweep: serves every cell instantly from 'cache'."""
+    results = [
+        CellResult(
+            cell=cell,
+            key=cell_key(cell),
+            ratios={scheme: 1.0 + i for i, scheme in enumerate(SCHEME_COLUMNS)},
+            cached=cache is not None,
+        )
+        for cell in spec.cells
+    ]
+    return SweepReport(spec=spec, results=results, elapsed=0.0, jobs=jobs)
 
 
 class TestParser:
@@ -42,3 +62,82 @@ class TestParser:
         assert main(["run", "fig12"]) == 0
         out = capsys.readouterr().out
         assert "COYOTE" in out
+
+    def test_run_jobs_ignored_for_non_grid_experiment(self, capsys):
+        assert main(["run", "thm4", "--jobs", "2", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Theorem 4" in captured.out
+        assert "no cell grid" in captured.err
+
+
+class TestSweepParsing:
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "table1", "--jobs", "4", "--cache-dir", "/tmp/c", "--out", "/tmp/o"]
+        )
+        assert args.experiment == "table1"
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.out == "/tmp/o"
+        assert not args.no_cache and not args.full
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig6"])
+        assert args.jobs == 1
+        assert args.cache_dir is None and args.out is None
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig99"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "table1", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--jobs", "-2"])
+
+    def test_sweep_non_grid_experiment_rejected(self):
+        # thm1 has no cell grid, so the sweep choices exclude it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "thm1"])
+
+    def test_run_accepts_runner_flags(self):
+        args = build_parser().parse_args(["run", "table1", "--jobs", "2", "--no-cache"])
+        assert args.jobs == 2 and args.no_cache
+
+
+class TestSweepCommand:
+    @pytest.fixture(autouse=True)
+    def stub_runner(self, monkeypatch):
+        monkeypatch.setattr(repro.cli, "run_sweep", fake_run_sweep)
+
+    def test_sweep_prints_table_and_summary(self, capsys):
+        assert main(["sweep", "table1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "9 cells: 9 solved, 0 from cache" in out
+
+    def test_sweep_warm_cache_summary(self, capsys, tmp_path):
+        assert main(["sweep", "fig6", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 cells: 0 solved, 3 from cache" in out
+
+    def test_sweep_writes_artifacts_and_csv(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        csv_path = tmp_path / "table.csv"
+        assert main([
+            "sweep", "table1", "--no-cache",
+            "--out", str(out_dir), "--csv", str(csv_path),
+        ]) == 0
+        table = json.loads((out_dir / "table1.table.json").read_text())
+        assert table["columns"][:2] == ["network", "margin"]
+        assert len(table["rows"]) == 9
+        cells = json.loads((out_dir / "table1.cells.json").read_text())
+        assert len(cells) == 9
+        assert csv_path.read_text().startswith("network,margin,")
+
+    def test_sweep_full_uses_paper_grid(self, capsys):
+        assert main(["sweep", "table1", "--full", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        # 14 topologies x 9 margins
+        assert "126 cells" in out

@@ -10,7 +10,7 @@ from repro.core.evaluate import (
     project_ecmp_into_dags,
 )
 from repro.demands.gravity import gravity_matrix
-from repro.demands.uncertainty import margin_box, oblivious_set
+from repro.demands.uncertainty import margin_box
 from repro.exceptions import SolverError
 from repro.fibbing.controller import FibbingController
 from repro.lp.worst_case import WorstCaseOracle

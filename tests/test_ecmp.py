@@ -1,7 +1,5 @@
 """Tests for ECMP weights and routing."""
 
-import math
-
 import pytest
 
 from repro.demands.matrix import DemandMatrix

@@ -1,7 +1,5 @@
 """Tests for failure-scenario precomputation."""
 
-import pytest
-
 from repro.config import SolverConfig
 from repro.core.failures import (
     degraded_network,

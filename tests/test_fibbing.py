@@ -94,7 +94,7 @@ class TestLies:
             net, weights, "t1", "t", {"s1": {"t": 2, "s2": 1}}
         )
         assert len(lies) == 3
-        assert {l.forwarding_neighbor for l in lies} == {"t", "s2"}
+        assert {lie.forwarding_neighbor for lie in lies} == {"t", "s2"}
 
     def test_lies_at_owner_rejected(self):
         net = prototype_network()

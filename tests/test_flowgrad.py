@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.core._flowgrad import FlowGraph, max_utilization, total_loads
-from repro.demands.matrix import DemandMatrix
 from repro.experiments.running_example import example_dag
 from repro.routing.splitting import uniform_ratios
 

@@ -11,7 +11,6 @@ from repro.core.local_search import (
     weight_search,
 )
 from repro.demands.gravity import gravity_matrix
-from repro.demands.matrix import DemandMatrix
 from repro.demands.uncertainty import margin_box
 from repro.ecmp.weights import integer_scaled_weights, inverse_capacity_weights
 from repro.lp.worst_case import normalize_to_unit_optimum

@@ -1,7 +1,5 @@
 """Unit tests for the LP modeling layer."""
 
-import math
-
 import numpy as np
 import pytest
 

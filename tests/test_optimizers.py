@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, SolverConfig
+from repro.config import SolverConfig
 from repro.core.gp import optimize_splitting_gp
 from repro.core.robust import optimize_robust_splitting
 from repro.core.softmax_opt import optimize_splitting_softmax

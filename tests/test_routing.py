@@ -4,7 +4,6 @@ import pytest
 
 from repro.demands.matrix import DemandMatrix
 from repro.exceptions import RoutingError
-from repro.graph.dag import Dag
 from repro.routing.propagation import (
     load_coefficients,
     propagate_to_destination,

@@ -1,0 +1,331 @@
+"""Tests for the parallel sweep runner: keys, cache, executor, artifacts."""
+
+import json
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ExperimentConfig, SolverConfig
+from repro.experiments.common import SCHEME_COLUMNS
+from repro.experiments.margin_sweep import margin_sweep_experiment, margin_sweep_spec
+from repro.experiments.registry import experiment_spec, sweepable_experiment_ids
+from repro.exceptions import ExperimentError
+from repro.runner.artifacts import write_artifacts
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import _chunk_pending, run_sweep
+from repro.runner.spec import SweepCell, SweepSpec, cell_key, grid_cells
+
+TINY_SOLVER = SolverConfig(
+    max_adversarial_rounds=2,
+    max_inner_iterations=10,
+    smoothing_temperatures=(8.0, 64.0),
+)
+
+
+def make_cell(margin=1.0, topology="abilene", solver=TINY_SOLVER, **overrides):
+    return SweepCell(
+        experiment=overrides.pop("experiment", "test"),
+        topology=topology,
+        demand_model=overrides.pop("demand_model", "gravity"),
+        margin=margin,
+        seed=overrides.pop("seed", 7),
+        solver=solver,
+        **overrides,
+    )
+
+
+def make_spec(margins=(1.0, 2.0, 3.0), **cell_kwargs):
+    cells = tuple(make_cell(margin=m, **cell_kwargs) for m in margins)
+    return SweepSpec(experiment="test", title="test sweep", cells=cells)
+
+
+def _stub_solve(cell: SweepCell) -> dict[str, float]:
+    """Deterministic fake solver; later cells finish first under a pool."""
+    time.sleep(max(0.0, 0.3 - 0.1 * cell.margin))
+    return {scheme: cell.margin + i for i, scheme in enumerate(SCHEME_COLUMNS)}
+
+
+def _failing_stub_solve(cell: SweepCell) -> dict[str, float]:
+    """Fails fast on margin 3.0 while earlier cells are still in flight."""
+    if cell.margin == 3.0:
+        raise RuntimeError("solver blew up")
+    return _stub_solve(cell)
+
+
+class TestCellKey:
+    def test_stable_for_equal_cells(self):
+        assert cell_key(make_cell()) == cell_key(make_cell())
+
+    def test_margin_and_topology_change_key(self):
+        base = cell_key(make_cell())
+        assert cell_key(make_cell(margin=2.0)) != base
+        assert cell_key(make_cell(topology="nsf")) != base
+
+    def test_solver_config_changes_key(self):
+        base = cell_key(make_cell())
+        for change in (
+            {"max_adversarial_rounds": 5},
+            {"lp_tolerance": 1e-6},
+            {"smoothing_temperatures": (8.0,)},
+            {"seed": 1},
+        ):
+            tweaked = replace(TINY_SOLVER, **change)
+            assert cell_key(make_cell(solver=tweaked)) != base, change
+
+    def test_experiment_id_shares_key(self):
+        # fig6 and a table1 block over the same inputs solve the same cell.
+        assert cell_key(make_cell(experiment="fig6")) == cell_key(
+            make_cell(experiment="table1")
+        )
+
+    def test_version_tag_changes_key(self, monkeypatch):
+        base = cell_key(make_cell())
+        monkeypatch.setattr("repro.runner.spec.CACHE_VERSION", "runner-v999")
+        assert cell_key(make_cell()) != base
+
+    def test_scheme_columns_change_key(self, monkeypatch):
+        # A renamed/added scheme must invalidate entries that would
+        # otherwise be served with missing result keys.
+        base = cell_key(make_cell())
+        monkeypatch.setattr("repro.runner.spec.SCHEME_COLUMNS", (*SCHEME_COLUMNS, "NEW"))
+        assert cell_key(make_cell()) != base
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        result = {scheme: 1.5 for scheme in SCHEME_COLUMNS}
+        path = cache.put(cell, result)
+        assert path.is_file()
+        assert cache.get(cell) == result
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_cell()) is None
+
+    def test_solver_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        cache.put(cell, {"ECMP": 1.0})
+        tweaked = replace(cell, solver=replace(TINY_SOLVER, max_adversarial_rounds=9))
+        assert cache.get(tweaked) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        path = cache.put(cell, {"ECMP": 1.0})
+        path.write_text("not json{")
+        assert cache.get(cell) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        path = cache.put(cell, {"ECMP": 1.0})
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["margin"] = 99.0
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+
+    def test_non_object_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        path = cache.put(cell, {"ECMP": 1.0})
+        path.write_text("[]")
+        assert cache.get(cell) is None
+
+    def test_non_numeric_result_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        path = cache.put(cell, {"ECMP": 1.0})
+        payload = json.loads(path.read_text())
+        payload["result"]["ECMP"] = None
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+
+    def test_scheme_incomplete_result_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cell()
+        path = cache.put(cell, {scheme: 1.5 for scheme in SCHEME_COLUMNS})
+        payload = json.loads(path.read_text())
+        del payload["result"][SCHEME_COLUMNS[0]]
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+
+    def test_default_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+
+class TestRunSweep:
+    def test_serial_rows_in_declared_order(self):
+        spec = make_spec()
+        report = run_sweep(spec, solve=_stub_solve)
+        assert report.table().column("margin") == [1.0, 2.0, 3.0]
+        assert report.solved == 3 and report.cached == 0
+
+    def test_parallel_rows_in_declared_order(self):
+        # The stub makes later cells finish first; row order must not care.
+        spec = make_spec(margins=(1.0, 1.5, 2.0, 2.5))
+        report = run_sweep(spec, jobs=2, solve=_stub_solve)
+        table = report.table()
+        assert table.column("margin") == [1.0, 1.5, 2.0, 2.5]
+        assert table.rows == run_sweep(spec, solve=_stub_solve).table().rows
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(make_spec(), jobs=0, solve=_stub_solve)
+
+    def test_cache_hit_on_second_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        first = run_sweep(spec, cache=cache, solve=_stub_solve)
+        assert first.solved == 3 and first.cached == 0
+        second = run_sweep(spec, cache=cache, solve=_stub_solve)
+        assert second.solved == 0 and second.cached == 3
+        assert second.table().rows == first.table().rows
+
+    def test_partial_cache_solves_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(make_spec(margins=(1.0, 2.0)), cache=cache, solve=_stub_solve)
+        report = run_sweep(make_spec(margins=(1.0, 2.0, 3.0)), cache=cache, solve=_stub_solve)
+        assert report.cached == 2 and report.solved == 1
+
+    def test_solver_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        run_sweep(spec, cache=cache, solve=_stub_solve)
+        tweaked = spec.with_solver(replace(TINY_SOLVER, max_inner_iterations=11))
+        report = run_sweep(tweaked, cache=cache, solve=_stub_solve)
+        assert report.solved == 3 and report.cached == 0
+
+    def test_failed_cell_preserves_earlier_cached_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec(margins=(1.0, 2.0, 3.0))
+        with pytest.raises(RuntimeError, match="solver blew up"):
+            run_sweep(spec, cache=cache, solve=_failing_stub_solve)
+        # The two cells solved before the failure are already cached.
+        report = run_sweep(spec, cache=cache, solve=_stub_solve)
+        assert report.cached == 2 and report.solved == 1
+
+    def test_parallel_failure_preserves_in_flight_results(self, tmp_path):
+        # Margin 3.0 fails after its chunk-mates solved (and while the other
+        # worker's chunk is still running); those results must still be cached.
+        cache = ResultCache(tmp_path)
+        spec = make_spec(margins=(1.0, 2.0, 3.0))
+        with pytest.raises(RuntimeError, match="solver blew up"):
+            run_sweep(spec, jobs=2, cache=cache, solve=_failing_stub_solve)
+        report = run_sweep(spec, cache=cache, solve=_stub_solve)
+        assert report.cached == 2 and report.solved == 1
+
+    def test_parallel_failure_names_the_cell(self):
+        with pytest.raises(RuntimeError, match="solver blew up") as excinfo:
+            run_sweep(make_spec(), jobs=2, solve=_failing_stub_solve)
+        assert "margin=3" in str(excinfo.value.__cause__)
+
+    def test_cache_shared_across_experiments(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(make_spec(experiment="fig6"), cache=cache, solve=_stub_solve)
+        report = run_sweep(make_spec(experiment="table1"), cache=cache, solve=_stub_solve)
+        assert report.solved == 0 and report.cached == 3
+
+
+class TestSpecs:
+    def test_registry_declares_grids(self):
+        assert set(sweepable_experiment_ids()) == {"fig6", "fig7", "fig8", "table1"}
+
+    def test_non_grid_experiment_rejected(self):
+        with pytest.raises(ExperimentError, match="does not decompose"):
+            experiment_spec("thm1")
+
+    def test_table1_grid_is_topology_major(self):
+        config = ExperimentConfig(margins=(1.0, 2.0), solver=TINY_SOLVER)
+        spec = experiment_spec("table1", config)
+        assert spec.with_topology_column
+        assert [(c.topology, c.margin) for c in spec.cells] == [
+            ("abilene", 1.0), ("abilene", 2.0),
+            ("nsf", 1.0), ("nsf", 2.0),
+            ("germany", 1.0), ("germany", 2.0),
+        ]
+
+    def test_table1_full_config_selects_paper_topologies(self):
+        spec = experiment_spec("table1", ExperimentConfig.paper())
+        assert len({cell.topology for cell in spec.cells}) == 14
+
+    def test_grid_cells_accepts_generator_margins(self):
+        # An exhaustible iterable must still yield cells for every topology.
+        cells = grid_cells(
+            "test", ["abilene", "nsf"], "gravity",
+            (m for m in (1.0, 2.0)), TINY_SOLVER, 7,
+        )
+        assert [(c.topology, c.margin) for c in cells] == [
+            ("abilene", 1.0), ("abilene", 2.0), ("nsf", 1.0), ("nsf", 2.0),
+        ]
+
+    def test_margin_sweep_spec_one_topology(self):
+        config = ExperimentConfig(margins=(1.0,), solver=TINY_SOLVER)
+        spec = margin_sweep_spec("nsf", "gravity", config)
+        assert [c.topology for c in spec.cells] == ["nsf"]
+        assert not spec.with_topology_column
+        assert spec.columns() == ("margin", *SCHEME_COLUMNS)
+
+
+class TestChunking:
+    def test_same_setup_cells_share_a_chunk(self):
+        pending = list(enumerate(
+            make_cell(margin=m, topology=t)
+            for t in ("abilene", "nsf") for m in (1.0, 2.0, 3.0)
+        ))
+        chunks = _chunk_pending(pending, workers=2)
+        assert len(chunks) == 2
+        for chunk in chunks:
+            assert len({cell.setup_key() for _, cell in chunk}) == 1
+        assert sorted(index for chunk in chunks for index, _ in chunk) == list(range(6))
+
+    def test_groups_split_to_fill_idle_workers(self):
+        pending = list(enumerate(make_cell(margin=m) for m in (1.0, 2.0, 3.0, 4.0)))
+        chunks = _chunk_pending(pending, workers=4)
+        assert len(chunks) == 4
+        assert sorted(index for chunk in chunks for index, _ in chunk) == list(range(4))
+
+    def test_singleton_groups_cannot_split_further(self):
+        pending = [(0, make_cell(topology="abilene")), (1, make_cell(topology="nsf"))]
+        assert len(_chunk_pending(pending, workers=8)) == 2
+
+
+class TestArtifacts:
+    def test_write_artifacts(self, tmp_path):
+        report = run_sweep(make_spec(), solve=_stub_solve)
+        table_path, cells_path = write_artifacts(report, tmp_path / "out")
+        table = json.loads(table_path.read_text())
+        assert table["experiment"] == "test"
+        assert table["rows"] == [list(row) for row in report.table().rows]
+        assert table["solved"] == 3 and table["cached"] == 0
+        cells = json.loads(cells_path.read_text())
+        assert len(cells) == 3
+        assert cells[0]["key"] == report.results[0].key
+        assert not cells[0]["cached"]
+
+
+@pytest.mark.slow
+class TestParallelEquality:
+    """Real-solver equivalence: parallel and serial sweeps agree exactly."""
+
+    def test_parallel_matches_serial(self, tmp_path):
+        config = ExperimentConfig(margins=(1.0, 2.0), solver=TINY_SOLVER)
+        spec = margin_sweep_spec("abilene", "gravity", config)
+        cache = ResultCache(tmp_path)
+        parallel = run_sweep(spec, jobs=2, cache=cache)
+        serial = run_sweep(spec)
+        assert parallel.solved == 2
+        for row_parallel, row_serial in zip(parallel.table().rows, serial.table().rows):
+            assert row_parallel == pytest.approx(row_serial, rel=1e-9)
+        # The driver-level serial path produces the same table too.
+        driver = margin_sweep_experiment("abilene", "gravity", config)
+        assert driver.rows == serial.table().rows
+        # A warm rerun re-solves nothing and reproduces the rows bit-for-bit.
+        warm = run_sweep(spec, jobs=2, cache=cache)
+        assert warm.solved == 0 and warm.cached == 2
+        assert warm.table().rows == parallel.table().rows

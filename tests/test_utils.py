@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, ExperimentConfig, SolverConfig
+from repro.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.utils.seeding import rng_from_seed, stable_hash
 from repro.utils.tables import Table, format_csv, format_markdown, merge_tables
 

@@ -1,20 +1,15 @@
 """Tests for the adversarial slave LP and the Theorem 5 certificate."""
 
-import math
-
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.demands.matrix import DemandMatrix
-from repro.demands.uncertainty import margin_box, oblivious_pairs, oblivious_set
-from repro.graph.dag import Dag
+from repro.demands.uncertainty import margin_box, oblivious_pairs
 from repro.lp.certificate import best_certificate_for_edge, certified_oblivious_ratio
 from repro.lp.worst_case import (
     WorstCaseOracle,
     evaluate_on_matrices,
     normalize_to_unit_optimum,
 )
-from repro.routing.splitting import Routing
 from repro.experiments.running_example import fig1b_routing, fig1c_routing, example_dag
 
 
