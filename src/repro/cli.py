@@ -6,6 +6,7 @@ Examples:
     repro run fig6 --full
     repro run table1 --csv /tmp/table1.csv --jobs 4
     repro sweep table1 --jobs 4 --out artifacts/
+    repro sweep fig11 --full --jobs 8        # topology-parallel stretch
     repro topo geant
 """
 
@@ -181,7 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="run a grid experiment through the parallel sweep runner",
+        help="run a grid experiment (fig6-fig11, table1) through the parallel "
+        "sweep runner",
     )
     sweep.add_argument(
         "experiment", choices=sorted(sweepable_experiment_ids()), metavar="EXPERIMENT"

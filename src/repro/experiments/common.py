@@ -12,6 +12,12 @@ normalized by the demands-aware optimum within the same augmented DAGs:
 :class:`ExperimentSetup` computes everything margin-independent once
 (DAGs, ECMP, Base, the oblivious routing); per-margin evaluation then
 compiles one oracle and scores all schemes against it.
+
+This module also registers the ``"margin"`` cell kind — the
+(topology, demand model, margin) unit behind Figs. 6-8 and Table I —
+and exposes :func:`shared_setup`, the per-process LRU-memoized setup
+that all setup-sharing kinds (margin, Fig. 10's approximation, Fig.
+11's stretch) build their cells on.
 """
 
 from __future__ import annotations
@@ -35,8 +41,17 @@ from repro.graph.network import Edge, Network, Node
 from repro.lp.dag_flow import optimal_dag_routing
 from repro.lp.worst_case import WorstCaseOracle
 from repro.routing.splitting import Routing
+from repro.runner.memo import LruMemo
+from repro.runner.spec import CellKind, SweepCell, register_cell_kind
+from repro.topologies.zoo import load_topology
 
 SCHEME_COLUMNS = ("ECMP", "Base", "COYOTE-obl", "COYOTE-pk")
+
+#: Per-process cap on memoized setups; grids iterate margins within one
+#: topology, so a handful of live setups covers realistic schedules.
+SETUP_MEMO_LIMIT = 4
+
+_SETUP_MEMO = LruMemo(limit=SETUP_MEMO_LIMIT)
 
 
 def base_matrix_for(network: Network, demand_model: str, seed: int) -> DemandMatrix:
@@ -145,3 +160,30 @@ def evaluate_margin(setup: ExperimentSetup, margin: float) -> dict[str, float]:
         "COYOTE-obl": oracle.evaluate(setup.coyote_oblivious).ratio,
         "COYOTE-pk": oracle.evaluate(partial).ratio,
     }
+
+
+def shared_setup(cell: SweepCell) -> ExperimentSetup:
+    """The margin-independent setup for a cell, LRU-memoized per process.
+
+    Keyed by :meth:`~repro.runner.spec.SweepCell.setup_key`, so cells of
+    *different* kinds over the same (topology, demand model, seed,
+    solver, optimizer) — e.g. a Table I margin cell and a Fig. 11
+    stretch cell — share one :class:`ExperimentSetup`.
+    """
+
+    def build() -> ExperimentSetup:
+        network = load_topology(cell.topology)
+        base = base_matrix_for(network, cell.demand_model, cell.seed)
+        return prepare_setup(network, base, cell.solver, optimizer=cell.optimizer)
+
+    return _SETUP_MEMO.get_or_create(cell.setup_key(), build)
+
+
+def solve_margin_cell(cell: SweepCell) -> dict[str, float]:
+    """Solve one margin-grid cell: all four schemes at the cell's margin."""
+    return evaluate_margin(shared_setup(cell), cell.margin)
+
+
+MARGIN_KIND = register_cell_kind(
+    CellKind(name="margin", solve=solve_margin_cell, columns=SCHEME_COLUMNS)
+)

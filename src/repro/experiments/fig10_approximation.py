@@ -6,6 +6,16 @@ multiplicities come from injected virtual links.  The paper's findings
 on AS1755 (all other topologies behave alike): 3 virtual links per
 interface already beat ECMP by ~50%, and 10 links approximate the ideal
 configuration closely.
+
+The experiment decomposes into (margin x budget) sweep cells of the
+``"fig10-nh-approx"`` kind.  A cell with ``budget=None`` produces the
+margin's "ECMP" and "ideal" columns; a cell with ``budget=k`` produces
+its "k NHs" column.  All cells of one topology share the
+margin-independent :func:`~repro.experiments.common.shared_setup`, and
+cells of one margin additionally share the memoized worst-case oracle
+and ideal (COYOTE-pk) routing, so a chunked worker pays the expensive
+robust optimization once per margin.  The runner merges the cells of
+each margin into a single table row.
 """
 
 from __future__ import annotations
@@ -14,17 +24,98 @@ from typing import Sequence
 
 from repro.config import ExperimentConfig
 from repro.demands.uncertainty import margin_box
-from repro.experiments.common import (
-    base_matrix_for,
-    coyote_partial_for_margin,
-    prepare_setup,
-)
+from repro.experiments.common import coyote_partial_for_margin, shared_setup
 from repro.fibbing.apportionment import approximate_routing
 from repro.lp.worst_case import WorstCaseOracle
-from repro.topologies.zoo import load_topology
+from repro.runner.executor import run_sweep
+from repro.runner.memo import LruMemo
+from repro.runner.spec import (
+    CellKind,
+    SweepCell,
+    SweepSpec,
+    freeze_params,
+    register_cell_kind,
+)
 from repro.utils.tables import Table
 
 BUDGETS: tuple[int, ...] = (3, 5, 10)
+
+#: Margin-level shared state: (oracle, ideal routing) per (setup, margin).
+_MARGIN_MEMO = LruMemo(limit=4)
+
+
+def _fig10_columns(params: dict) -> tuple[str, ...]:
+    budget = params.get("budget")
+    if budget is None:
+        return ("ECMP", "ideal")
+    return (f"{budget} NHs",)
+
+
+def _oracle_and_ideal(cell: SweepCell):
+    """The margin's worst-case oracle and ideal COYOTE-pk routing, memoized."""
+
+    def build():
+        setup = shared_setup(cell)
+        uncertainty = margin_box(setup.base, cell.margin)
+        oracle = WorstCaseOracle(
+            setup.network, uncertainty, dags=setup.dags, config=cell.solver
+        )
+        ideal = coyote_partial_for_margin(setup, cell.margin)
+        return oracle, ideal
+
+    return _MARGIN_MEMO.get_or_create((cell.setup_key(), cell.margin), build)
+
+
+def solve_fig10_cell(cell: SweepCell) -> dict[str, float]:
+    """Solve one approximation cell (base columns or one budget column)."""
+    oracle, ideal = _oracle_and_ideal(cell)
+    budget = cell.params_dict().get("budget")
+    if budget is None:
+        setup = shared_setup(cell)
+        return {
+            "ECMP": oracle.evaluate(setup.ecmp).ratio,
+            "ideal": oracle.evaluate(ideal).ratio,
+        }
+    approx, _stats = approximate_routing(ideal, budget)
+    return {f"{budget} NHs": oracle.evaluate(approx).ratio}
+
+
+FIG10_KIND = register_cell_kind(
+    CellKind(name="fig10-nh-approx", solve=solve_fig10_cell, columns=_fig10_columns)
+)
+
+
+def fig10_spec(
+    config: ExperimentConfig | None = None,
+    topology: str = "as1755",
+    budgets: Sequence[int] = BUDGETS,
+) -> SweepSpec:
+    """Declare the Fig. 10 grid: per margin, one base cell + one per budget."""
+    config = config or ExperimentConfig.from_environment()
+    budgets = tuple(budgets)
+    cells = tuple(
+        SweepCell(
+            experiment="fig10",
+            topology=topology,
+            demand_model="gravity",
+            margin=margin,
+            seed=config.seed,
+            solver=config.solver,
+            kind=FIG10_KIND.name,
+            params=freeze_params({"budget": budget}),
+        )
+        for margin in config.margins
+        for budget in (None, *budgets)
+    )
+    return SweepSpec(
+        experiment="fig10",
+        title=f"Fig. 10 — {topology}, splitting approximation",
+        cells=cells,
+        notes=(
+            "each 'k NHs' column evaluates the ideal COYOTE ratios rounded to at "
+            "most k virtual next hops per interface (largest-remainder apportionment)",
+        ),
+    )
 
 
 def fig10(
@@ -33,23 +124,4 @@ def fig10(
     budgets: Sequence[int] = BUDGETS,
 ) -> Table:
     """Regenerate Fig. 10 (splitting-approximation quality vs lie budget)."""
-    config = config or ExperimentConfig.from_environment()
-    network = load_topology(topology)
-    base = base_matrix_for(network, "gravity", config.seed)
-    setup = prepare_setup(network, base, config.solver)
-    columns = ["margin", "ECMP", "ideal"] + [f"{b} NHs" for b in budgets]
-    table = Table(f"Fig. 10 — {topology}, splitting approximation", columns)
-    for margin in config.margins:
-        uncertainty = margin_box(base, margin)
-        oracle = WorstCaseOracle(network, uncertainty, dags=setup.dags, config=config.solver)
-        ideal = coyote_partial_for_margin(setup, margin)
-        row = [margin, oracle.evaluate(setup.ecmp).ratio, oracle.evaluate(ideal).ratio]
-        for budget in budgets:
-            approx, _stats = approximate_routing(ideal, budget)
-            row.append(oracle.evaluate(approx).ratio)
-        table.add_row(*row)
-    table.add_note(
-        "each 'k NHs' column evaluates the ideal COYOTE ratios rounded to at "
-        "most k virtual next hops per interface (largest-remainder apportionment)"
-    )
-    return table
+    return run_sweep(fig10_spec(config, topology, budgets)).table()

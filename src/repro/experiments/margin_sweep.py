@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.config import ExperimentConfig
 from repro.runner.executor import run_sweep
 from repro.runner.spec import SweepSpec, grid_cells
-from repro.topologies.zoo import load_topology
+from repro.topologies.zoo import topology_info
 from repro.utils.tables import Table
 
 
@@ -41,7 +41,9 @@ def margin_sweep_spec(
             "<topology>-<demand_model>" tag for ad-hoc sweeps).
     """
     config = config or ExperimentConfig.from_environment()
-    network = load_topology(topology)
+    # Registry metadata, not load_topology(): building the network here
+    # would make even a fully-cached sweep pay topology construction.
+    info = topology_info(topology)
     cells = grid_cells(
         experiment or f"{topology}-{demand_model}",
         [topology],
@@ -51,7 +53,7 @@ def margin_sweep_spec(
         config.seed,
     )
     notes = (
-        f"topology={topology} ({network.num_nodes} nodes / {network.num_edges} "
+        f"topology={topology} ({info.nodes} nodes / {2 * info.links} "
         f"directed edges), demand model={demand_model}, margins={config.margins}",
         "ratios are worst-case link utilization normalized by the demands-aware "
         "optimum within the same augmented DAGs (Section VI)",

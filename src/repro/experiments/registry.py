@@ -7,9 +7,9 @@ from typing import Callable
 
 from repro.config import ExperimentConfig
 from repro.exceptions import ExperimentError
-from repro.experiments.fig9_local_search import fig9
-from repro.experiments.fig10_approximation import fig10
-from repro.experiments.fig11_stretch import fig11
+from repro.experiments.fig9_local_search import fig9, fig9_spec
+from repro.experiments.fig10_approximation import fig10, fig10_spec
+from repro.experiments.fig11_stretch import fig11, fig11_spec
 from repro.experiments.fig12_prototype import fig12
 from repro.experiments.hardness import theorem1_table, theorem4_table
 from repro.experiments.margin_sweep import fig6, fig6_spec, fig7, fig7_spec, fig8, fig8_spec
@@ -26,10 +26,12 @@ GridBuilder = Callable[[ExperimentConfig | None], SweepSpec]
 class Experiment:
     """A registered experiment: id, description, driver, optional grid.
 
-    Experiments whose evaluation decomposes into independent
-    (topology, demand model, margin) cells also declare a ``grid``
-    builder; those are the ones ``repro sweep`` (and ``repro run``'s
-    ``--jobs``/cache flags) can execute through the parallel runner.
+    Experiments whose evaluation decomposes into independent sweep cells
+    (a registered :class:`~repro.runner.spec.CellKind` — margin-grid
+    rows, Fig. 9's per-margin searches, Fig. 10's budget cells, Fig.
+    11's per-topology stretch) also declare a ``grid`` builder; those
+    are the ones ``repro sweep`` (and ``repro run``'s ``--jobs``/cache
+    flags) can execute through the parallel runner.
     """
 
     id: str
@@ -59,9 +61,15 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("fig6", "Fig. 6: Geant, gravity margin sweep", fig6, grid=fig6_spec),
         Experiment("fig7", "Fig. 7: Digex, gravity margin sweep", fig7, grid=fig7_spec),
         Experiment("fig8", "Fig. 8: AS1755, bimodal margin sweep", fig8, grid=fig8_spec),
-        Experiment("fig9", "Fig. 9: Abilene, local-search heuristic", fig9),
-        Experiment("fig10", "Fig. 10: virtual next-hop approximation", fig10),
-        Experiment("fig11", "Fig. 11: average path stretch", fig11),
+        Experiment(
+            "fig9", "Fig. 9: Abilene, local-search heuristic", fig9, grid=fig9_spec
+        ),
+        Experiment(
+            "fig10", "Fig. 10: virtual next-hop approximation", fig10, grid=fig10_spec
+        ),
+        Experiment(
+            "fig11", "Fig. 11: average path stretch", fig11, grid=fig11_spec
+        ),
         Experiment("fig12", "Fig. 12: prototype packet-drop emulation", fig12),
         Experiment(
             "table1",

@@ -57,7 +57,7 @@ def table1_spec(
         experiment="table1",
         title="Table I — COYOTE vs ECMP and Base (gravity)",
         cells=cells,
-        with_topology_column=True,
+        row_columns=("network", "margin"),
         notes=tuple(notes),
     )
 

@@ -1,7 +1,8 @@
 """Parallel sweep runner: cell decomposition, process-pool execution,
 content-addressed result caching, and JSON artifacts.
 
-The experiment drivers declare their grids as :class:`SweepSpec`s;
+The experiment drivers declare their grids as :class:`SweepSpec`s of
+:class:`SweepCell`s, each solved by a registered :class:`CellKind`;
 :func:`run_sweep` executes them serially or across a process pool and
 reassembles tables in deterministic cell order.  See DESIGN notes in the
 submodules for the cache layout and key derivation.
@@ -10,18 +11,35 @@ submodules for the cache layout and key derivation.
 from repro.runner.artifacts import write_artifacts
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.executor import CellResult, SweepReport, run_sweep, solve_cell
-from repro.runner.spec import CACHE_VERSION, SweepCell, SweepSpec, cell_key, grid_cells
+from repro.runner.memo import LruMemo, clear_all_memos
+from repro.runner.spec import (
+    CACHE_VERSION,
+    CellKind,
+    SweepCell,
+    SweepSpec,
+    cell_key,
+    cell_kind,
+    freeze_params,
+    grid_cells,
+    register_cell_kind,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "CellKind",
     "CellResult",
+    "LruMemo",
     "ResultCache",
     "SweepCell",
     "SweepReport",
     "SweepSpec",
     "cell_key",
+    "cell_kind",
+    "clear_all_memos",
     "default_cache_dir",
+    "freeze_params",
     "grid_cells",
+    "register_cell_kind",
     "run_sweep",
     "solve_cell",
     "write_artifacts",

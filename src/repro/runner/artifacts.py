@@ -1,22 +1,27 @@
 """JSON artifact output for completed sweeps.
 
-``repro sweep EXP --out DIR`` (and the CI smoke job) persist two files
+``repro sweep EXP --out DIR`` (and the CI smoke jobs) persist two files
 per experiment:
 
 * ``<experiment>.table.json`` — the assembled table (title, columns,
   rows, notes) plus run counters; enough to re-render or diff a sweep
   without re-solving anything.
 * ``<experiment>.cells.json`` — one record per cell with its full cache
-  fingerprint, content key, scheme ratios, and whether it was served
+  fingerprint, content key, result values, and whether it was served
   from cache; the raw material for cross-run regression comparisons.
+
+Both files are written atomically (temp file + ``os.replace``, the same
+pattern as :meth:`~repro.runner.cache.ResultCache.put`), so a crash
+mid-write can never leave a truncated artifact for diff tooling to
+choke on.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.runner.executor import SweepReport
+from repro.utils.jsonio import write_json_atomic
 
 
 def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
@@ -25,7 +30,6 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
     out.mkdir(parents=True, exist_ok=True)
     table = report.table()
 
-    table_path = out / f"{report.spec.experiment}.table.json"
     table_payload = {
         "experiment": report.spec.experiment,
         "title": table.title,
@@ -37,11 +41,10 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
         "jobs": report.jobs,
         "elapsed_seconds": round(report.elapsed, 3),
     }
-    with open(table_path, "w") as handle:
-        json.dump(table_payload, handle, indent=2)
-        handle.write("\n")
+    table_path = write_json_atomic(
+        out / f"{report.spec.experiment}.table.json", table_payload
+    )
 
-    cells_path = out / f"{report.spec.experiment}.cells.json"
     cells_payload = [
         {
             "key": result.key,
@@ -51,8 +54,8 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
         }
         for result in report.results
     ]
-    with open(cells_path, "w") as handle:
-        json.dump(cells_payload, handle, indent=2)
-        handle.write("\n")
+    cells_path = write_json_atomic(
+        out / f"{report.spec.experiment}.cells.json", cells_payload
+    )
 
     return [table_path, cells_path]

@@ -5,15 +5,19 @@ Layout (all JSON, human-inspectable)::
     <root>/<key[:2]>/<key>.json
 
 where ``key`` is :func:`repro.runner.spec.cell_key` — a hash over the
-topology, demand model, margin, seed, optimizer, every
-:class:`~repro.config.SolverConfig` field, and the runner's
+cell kind and its params, the topology, demand model, margin, seed,
+optimizer, every :class:`~repro.config.SolverConfig` field, the kind's
+declared result columns, and the runner's
 :data:`~repro.runner.spec.CACHE_VERSION` tag.  Any of those changing
 yields a different key, so stale results are never returned; they are
 simply never looked up again.
 
 Each entry stores the full cell fingerprint alongside the result, so a
 (vanishingly unlikely) hash collision is detected by comparing
-fingerprints rather than silently returning the wrong row.  Writes are
+fingerprints rather than silently returning the wrong row.  Entries are
+validated against the *cell's own* column set — a margin cell requires
+the four scheme ratios, a Fig. 10 budget cell only its "k NHs" column —
+so an entry missing any column its kind declares is a miss.  Writes are
 atomic (temp file + ``os.replace``) so parallel workers and concurrent
 sweeps can share one cache directory.
 """
@@ -22,11 +26,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 
-from repro.experiments.common import SCHEME_COLUMNS
 from repro.runner.spec import SweepCell, cell_key
+from repro.utils.jsonio import write_json_atomic
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -51,11 +54,11 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, cell: SweepCell) -> dict[str, float] | None:
-        """The cached scheme->ratio dict for ``cell``, or None on a miss.
+        """The cached column->value dict for ``cell``, or None on a miss.
 
         Unreadable or mismatched entries (corrupt JSON, fingerprint
-        collision, a result missing scheme columns) are treated as
-        misses, never as errors.
+        collision, a result missing any column the cell's kind declares)
+        are treated as misses, never as errors.
         """
         path = self.path_for(cell)
         try:
@@ -68,36 +71,27 @@ class ResultCache:
         if payload.get("fingerprint") != cell.fingerprint():
             return None
         result = payload.get("result")
-        if not isinstance(result, dict) or not set(result) >= set(SCHEME_COLUMNS):
+        if not isinstance(result, dict) or not set(result) >= set(cell.cell_columns()):
             return None
         try:
-            return {str(scheme): float(ratio) for scheme, ratio in result.items()}
+            # null round-trips a non-finite value (fig9's undefined gap):
+            # the writer emits strict JSON, so NaN is stored as null.
+            return {
+                str(column): float("nan") if value is None else float(value)
+                for column, value in result.items()
+            }
         except (TypeError, ValueError):
             return None
 
     def put(self, cell: SweepCell, result: dict[str, float]) -> Path:
         """Atomically store ``result`` for ``cell``; returns the entry path."""
-        path = self.path_for(cell)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": cell_key(cell),
             "experiment": cell.experiment,
             "fingerprint": cell.fingerprint(),
             "result": result,
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return write_json_atomic(self.path_for(cell), payload, sort_keys=True)
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -8,13 +8,21 @@ that share a setup key (same topology, demand model, seed, solver) are
 chunked onto one worker so the expensive margin-independent setup (DAG
 construction, ECMP projection, the oblivious optimization) is built
 once per chunk; chunks are split only when workers would otherwise sit
-idle, bounding setup duplication to the worker count.  A small
-per-process memo additionally shares setups between chunks that land on
-the same long-lived worker.
+idle, bounding setup duplication to the worker count.  A per-process
+LRU memo (see :mod:`repro.runner.memo`) additionally shares setups
+between chunks that land on the same long-lived worker.
+
+Cells are solved by their registered :class:`~repro.runner.spec.CellKind`
+— :func:`solve_cell` just dispatches — so any experiment that
+decomposes into independent units (the margin grids, Fig. 9's
+per-margin local search, Fig. 10's budget cells, Fig. 11's per-topology
+stretch) rides the same executor.
 
 Results are reassembled strictly in ``spec.cells`` order regardless of
 completion order, so a parallel sweep emits a table row-for-row
-identical to the serial one.
+identical to the serial one.  Consecutive cells with the same row
+identity merge into a single row (Fig. 10's base + budget cells), and
+columns come from the spec's declaration, not any global scheme list.
 """
 
 from __future__ import annotations
@@ -25,41 +33,17 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments.common import (
-    SCHEME_COLUMNS,
-    base_matrix_for,
-    evaluate_margin,
-    prepare_setup,
-)
+from repro.exceptions import ExperimentError
 from repro.runner.cache import ResultCache
-from repro.runner.spec import SweepCell, SweepSpec, cell_key
-from repro.topologies.zoo import load_topology, topology_info
+from repro.runner.memo import clear_all_memos
+from repro.runner.spec import SweepCell, SweepSpec, cell_key, cell_kind
+from repro.topologies.zoo import topology_info
 from repro.utils.tables import Table
-
-#: Per-process cap on memoized setups; grids iterate margins within one
-#: topology, so a handful of live setups covers realistic schedules.
-_SETUP_MEMO_LIMIT = 4
-
-_SETUP_MEMO: dict[tuple, object] = {}
-
-
-def _setup_for(cell: SweepCell):
-    """The margin-independent setup for a cell, memoized per process."""
-    key = cell.setup_key()
-    setup = _SETUP_MEMO.get(key)
-    if setup is None:
-        network = load_topology(cell.topology)
-        base = base_matrix_for(network, cell.demand_model, cell.seed)
-        setup = prepare_setup(network, base, cell.solver, optimizer=cell.optimizer)
-        while len(_SETUP_MEMO) >= _SETUP_MEMO_LIMIT:
-            _SETUP_MEMO.pop(next(iter(_SETUP_MEMO)))
-        _SETUP_MEMO[key] = setup
-    return setup
 
 
 def solve_cell(cell: SweepCell) -> dict[str, float]:
-    """Solve one cell: all four schemes' worst-case ratios at its margin."""
-    return evaluate_margin(_setup_for(cell), cell.margin)
+    """Solve one cell by dispatching through its registered kind."""
+    return cell_kind(cell.kind).solve(cell)
 
 
 def _solve_chunk(
@@ -80,11 +64,29 @@ def _solve_chunk(
         except Exception as error:
             detail = (
                 f"cell {cell.topology}/{cell.demand_model} margin={cell.margin:g} "
-                f"failed in worker:\n{traceback.format_exc()}"
+                f"kind={cell.kind} failed in worker:\n{traceback.format_exc()}"
             )
             outcomes.append(("error", error, detail))
             break
     return outcomes
+
+
+def _split_chunk(
+    chunk: list[tuple[int, SweepCell]],
+) -> list[list[tuple[int, SweepCell]]]:
+    """Split one chunk in two, preferring a margin boundary near the middle.
+
+    Cells of one margin can share per-margin state beyond the setup
+    (fig10's worst-case oracle and ideal routing), so a mid-margin split
+    would rebuild that state in both workers; the boundary nearest the
+    midpoint keeps each margin's cells together at no cost to balance.
+    """
+    half = len(chunk) // 2
+    boundaries = [
+        i for i in range(1, len(chunk)) if chunk[i - 1][1].margin != chunk[i][1].margin
+    ]
+    split = min(boundaries, key=lambda i: abs(i - half)) if boundaries else half
+    return [chunk[:split], chunk[split:]]
 
 
 def _chunk_pending(
@@ -94,7 +96,8 @@ def _chunk_pending(
 
     One chunk = one worker task: its cells share a setup, so the expensive
     margin-independent preparation runs once per chunk.  Groups are split
-    in half (largest first) only while workers would otherwise be idle.
+    in two (largest first, at margin boundaries where possible) only while
+    workers would otherwise be idle.
     """
     groups: dict[tuple, list[tuple[int, SweepCell]]] = {}
     for index, cell in pending:
@@ -103,9 +106,27 @@ def _chunk_pending(
     while len(chunks) < workers and any(len(chunk) > 1 for chunk in chunks):
         chunks.sort(key=len)
         largest = chunks.pop()
-        half = len(largest) // 2
-        chunks += [largest[:half], largest[half:]]
+        chunks += _split_chunk(largest)
     return chunks
+
+
+def _row_value(cell: SweepCell, column: str, *, display: bool):
+    """Resolve one row-identity column for a cell.
+
+    ``display=False`` yields the raw merge key (topology name);
+    ``display=True`` yields what the table prints (paper label).
+    """
+    if column == "network":
+        return topology_info(cell.topology).paper_label if display else cell.topology
+    if column == "margin":
+        return cell.margin
+    params = cell.params_dict()
+    if column in params:
+        return params[column]
+    raise ExperimentError(
+        f"cell kind {cell.kind!r} cannot resolve row column {column!r} "
+        f"(known: network, margin, or a param name)"
+    )
 
 
 @dataclass(frozen=True)
@@ -136,20 +157,50 @@ class SweepReport:
         return sum(1 for result in self.results if result.cached)
 
     def table(self) -> Table:
-        """Reassemble the table in declared cell order."""
-        table = Table(self.spec.title, list(self.spec.columns()))
+        """Reassemble the table in declared cell order.
+
+        Consecutive cells that share a row identity (all ``row_columns``
+        values equal) merge their result dicts into one row; the row's
+        values are then picked in the spec's declared column order.
+        """
+        spec = self.spec
+        value_columns = spec.resolved_value_columns()
+        table = Table(spec.title, list(spec.columns()))
+        groups: list[tuple[tuple, SweepCell, dict[str, float]]] = []
         for result in self.results:
-            cell = result.cell
-            prefix: tuple = ()
-            if self.spec.with_topology_column:
-                prefix = (topology_info(cell.topology).paper_label,)
-            table.add_row(
-                *prefix,
-                cell.margin,
-                *(result.ratios[scheme] for scheme in SCHEME_COLUMNS),
+            identity = tuple(
+                _row_value(result.cell, column, display=False) for column in spec.row_columns
             )
-        for note in self.spec.notes:
+            if groups and groups[-1][0] == identity:
+                merged = groups[-1][2]
+                clashing = sorted(set(merged) & set(result.ratios))
+                if clashing:
+                    # Complementary cells (fig10's base + budget cells) have
+                    # disjoint columns; an overlap means the row identity is
+                    # under-declared and merging would silently drop data.
+                    raise ExperimentError(
+                        f"sweep {spec.experiment!r}: consecutive cells share row "
+                        f"identity {identity!r} but both produce {clashing!r}; "
+                        f"declare a distinguishing row column (row_columns="
+                        f"{spec.row_columns!r})"
+                    )
+                merged.update(result.ratios)
+            else:
+                groups.append((identity, result.cell, dict(result.ratios)))
+        for _identity, cell, merged in groups:
+            prefix = tuple(_row_value(cell, column, display=True) for column in spec.row_columns)
+            missing = [column for column in value_columns if column not in merged]
+            if missing:
+                raise ExperimentError(
+                    f"sweep {spec.experiment!r}: row {prefix!r} is missing result "
+                    f"columns {missing!r} (cells produced {sorted(merged)!r})"
+                )
+            table.add_row(*prefix, *(merged[column] for column in value_columns))
+        for note in spec.notes:
             table.add_note(note)
+        if spec.footer is not None:
+            for note in spec.footer(self):
+                table.add_note(note)
         return table
 
     def summary(self) -> str:
@@ -181,6 +232,10 @@ def run_sweep(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    # Each sweep starts from cold per-process memos so its cost never
+    # depends on what an earlier in-process sweep happened to solve
+    # (forked workers would otherwise inherit a warm parent memo too).
+    clear_all_memos()
     started = time.time()
     ratios_by_index: dict[int, dict[str, float]] = {}
     cached_indexes: set[int] = set()

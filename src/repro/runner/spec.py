@@ -1,12 +1,15 @@
-"""Sweep decomposition: cells, specs, and stable cache keys.
+"""Sweep decomposition: cell kinds, cells, specs, and stable cache keys.
 
-The evaluation grids (Figs. 6-8, Table I) are embarrassingly parallel:
-every (topology, demand model, margin) triple is an independent robust
-optimization whose result is one table row.  :class:`SweepCell` captures
-exactly the inputs that determine that row, :class:`SweepSpec` is a
-driver-declared list of cells plus presentation metadata, and
-:func:`cell_key` derives the content-addressed cache key a cell's result
-is stored under.
+Any experiment whose work decomposes into independent units can ride the
+sweep runner.  A :class:`CellKind` names one family of units — the
+margin-grid row of Figs. 6-8/Table I, Fig. 9's per-margin local search,
+Fig. 10's next-hop-budget evaluations, Fig. 11's per-topology stretch —
+and declares the result columns a cell of that kind produces plus the
+function that solves it.  :class:`SweepCell` captures exactly the inputs
+that determine one unit's result (including the kind and its
+kind-specific ``params``), :class:`SweepSpec` is a driver-declared list
+of cells plus presentation metadata, and :func:`cell_key` derives the
+content-addressed cache key a cell's result is stored under.
 """
 
 from __future__ import annotations
@@ -14,19 +17,103 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.config import SolverConfig
-from repro.experiments.common import SCHEME_COLUMNS
+from repro.exceptions import ExperimentError
 
 #: Version tag folded into every cache key.  Bump whenever solver or
 #: evaluation semantics change in a way that invalidates stored results.
-CACHE_VERSION = "runner-v1"
+#: ``runner-v2`` introduced cell kinds (fingerprints gained ``kind`` /
+#: ``params`` / per-kind ``columns``), orphaning every ``runner-v1`` entry.
+CACHE_VERSION = "runner-v2"
+
+
+@dataclass(frozen=True)
+class CellKind:
+    """One family of sweep cells: its result columns and its solver.
+
+    Attributes:
+        name: registry identifier, folded into every cell fingerprint.
+        solve: maps a cell of this kind to its column -> value dict.
+        columns: the result columns one cell produces — a static tuple,
+            or a callable of the cell's ``params`` dict for kinds whose
+            column set depends on a parameter (e.g. Fig. 10's budgets).
+    """
+
+    name: str
+    solve: Callable[["SweepCell"], dict[str, float]]
+    columns: tuple[str, ...] | Callable[[dict[str, Any]], Sequence[str]]
+
+    def cell_columns(self, params: Mapping[str, Any]) -> tuple[str, ...]:
+        """The result columns for one cell with the given params."""
+        if callable(self.columns):
+            return tuple(self.columns(dict(params)))
+        return tuple(self.columns)
+
+
+_CELL_KINDS: dict[str, CellKind] = {}
+
+
+def register_cell_kind(kind: CellKind) -> CellKind:
+    """Register ``kind`` under its name (later registrations win).
+
+    Registration happens at import of the module defining the kind's
+    solve function; re-importing (or re-registering in tests) simply
+    replaces the entry.
+    """
+    _CELL_KINDS[kind.name] = kind
+    return kind
+
+
+def cell_kind(name: str) -> CellKind:
+    """Look up a registered kind, lazily importing the experiment drivers.
+
+    Worker processes unpickle cells before any experiment module has
+    run; importing the registry module pulls in every driver and
+    therefore every kind registration.
+    """
+    kind = _CELL_KINDS.get(name)
+    if kind is None:
+        import repro.experiments.registry  # noqa: F401  (registers kinds)
+
+        kind = _CELL_KINDS.get(name)
+    if kind is None:
+        raise ExperimentError(
+            f"unknown cell kind {name!r}; registered: {', '.join(sorted(_CELL_KINDS))}"
+        )
+    return kind
+
+
+def freeze_params(params: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    """Normalize a params mapping into the hashable form cells store.
+
+    Items are sorted by name and list values converted to tuples, so two
+    cells built from equal mappings compare (and hash) equal.
+    """
+    if not params:
+        return ()
+
+    def _freeze(value: Any) -> Any:
+        if isinstance(value, (list, tuple)):
+            return tuple(_freeze(item) for item in value)
+        return value
+
+    return tuple((name, _freeze(params[name])) for name in sorted(params))
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert frozen param values into their canonical JSON shape."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One independent unit of sweep work: a single table row.
+    """One independent unit of sweep work.
 
     Attributes:
         experiment: registry id of the owning experiment (for artifacts).
@@ -36,6 +123,10 @@ class SweepCell:
         seed: RNG seed forwarded to the demand sampler.
         solver: solver knobs; every field participates in the cache key.
         optimizer: inner splitting optimizer ("softmax" or "gp").
+        kind: registered :class:`CellKind` name that solves this cell.
+        params: kind-specific parameters as sorted (name, value) pairs
+            (build with :func:`freeze_params`); every entry participates
+            in the cache key.
     """
 
     experiment: str
@@ -45,17 +136,31 @@ class SweepCell:
     seed: int
     solver: SolverConfig
     optimizer: str = "softmax"
+    kind: str = "margin"
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def params_dict(self) -> dict[str, Any]:
+        """The kind-specific parameters as a plain dict."""
+        return dict(self.params)
+
+    def cell_columns(self) -> tuple[str, ...]:
+        """The result columns this cell's kind produces for its params."""
+        return cell_kind(self.kind).cell_columns(self.params_dict())
 
     def fingerprint(self) -> dict[str, Any]:
         """A JSON-serializable dict of everything that determines the result.
 
         The experiment id is deliberately excluded: fig6 and a table1 block
         over the same (topology, model, margin, solver) solve the same cell
-        and share one cache entry.
+        and share one cache entry.  The kind name, its params, and its
+        resolved column set all participate, so cells of different kinds
+        (or a kind whose columns changed) never share an entry.
         """
         return {
             "version": CACHE_VERSION,
-            "schemes": list(SCHEME_COLUMNS),
+            "kind": self.kind,
+            "params": {name: _jsonable(value) for name, value in self.params},
+            "columns": list(self.cell_columns()),
             "topology": self.topology,
             "demand_model": self.demand_model,
             "margin": self.margin,
@@ -76,8 +181,12 @@ class SweepCell:
     def setup_key(self) -> tuple:
         """Hashable key of the margin-independent preparation work.
 
-        Cells that share a setup key reuse one :class:`ExperimentSetup`
-        (DAGs, ECMP, Base, the oblivious routing) within a worker process.
+        Cells that share a setup key reuse one
+        :class:`~repro.experiments.common.ExperimentSetup` (DAGs, ECMP,
+        Base, the oblivious routing) within a worker process.  The kind
+        and params are deliberately excluded: a Fig. 11 stretch cell and
+        a Table I margin cell over the same (topology, model, seed,
+        solver) build — and therefore share — the identical setup.
         """
         return (self.topology, self.demand_model, self.seed, self.solver, self.optimizer)
 
@@ -87,8 +196,8 @@ def cell_key(cell: SweepCell) -> str:
 
     Keys are process- and platform-independent: they hash the canonical
     JSON encoding of :meth:`SweepCell.fingerprint`, so any change to the
-    topology name, demand model, margin, seed, optimizer, any
-    :class:`SolverConfig` field, the scheme column set, or
+    kind, its params or declared columns, the topology name, demand
+    model, margin, seed, optimizer, any :class:`SolverConfig` field, or
     :data:`CACHE_VERSION` produces a new key and therefore a cache miss.
     """
     payload = json.dumps(cell.fingerprint(), sort_keys=True, separators=(",", ":"))
@@ -103,20 +212,46 @@ class SweepSpec:
         experiment: registry id (names the artifact files).
         title: table title.
         cells: the grid, in the deterministic order rows are emitted.
-        with_topology_column: prefix each row with the topology's paper
-            label (Table I style) instead of a margin-only row (Fig. 6-8).
+            Consecutive cells that resolve to the same row identity (see
+            ``row_columns``) merge their results into one row, which is
+            how Fig. 10's per-budget cells assemble margin rows.
+        row_columns: identity columns prefixed to every row.  "network"
+            resolves to the topology's paper label, "margin" to the
+            cell's margin; any other name is looked up in the cell's
+            params.
+        value_columns: result columns, in display order; ``None`` derives
+            them from the cells' kinds (first-seen order).
         notes: free-form table annotations, appended after the rows.
+        footer: optional hook deriving extra notes from the completed
+            :class:`~repro.runner.executor.SweepReport` (e.g. Fig. 9's
+            mean-gap summary); not part of any cache key.
     """
 
     experiment: str
     title: str
     cells: tuple[SweepCell, ...]
-    with_topology_column: bool = False
+    row_columns: tuple[str, ...] = ("margin",)
+    value_columns: tuple[str, ...] | None = None
     notes: tuple[str, ...] = ()
+    footer: Callable[..., Sequence[str]] | None = None
+
+    @property
+    def with_topology_column(self) -> bool:
+        """Whether rows are prefixed with the topology's paper label."""
+        return "network" in self.row_columns
+
+    def resolved_value_columns(self) -> tuple[str, ...]:
+        """The result columns, derived from the cells when not declared."""
+        if self.value_columns is not None:
+            return self.value_columns
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            for column in cell.cell_columns():
+                seen.setdefault(column, None)
+        return tuple(seen)
 
     def columns(self) -> tuple[str, ...]:
-        prefix = ("network",) if self.with_topology_column else ()
-        return (*prefix, "margin", *SCHEME_COLUMNS)
+        return (*self.row_columns, *self.resolved_value_columns())
 
     def with_solver(self, solver: SolverConfig) -> "SweepSpec":
         """A copy of the spec with every cell's solver config replaced."""
@@ -132,13 +267,18 @@ def grid_cells(
     solver: SolverConfig,
     seed: int,
     optimizer: str = "softmax",
+    kind: str = "margin",
+    params: Mapping[str, Any] | None = None,
 ) -> tuple[SweepCell, ...]:
     """Enumerate a (topology x margin) grid in deterministic row order.
 
     Topology-major ordering matches how the serial drivers looped, so the
     reassembled tables are row-for-row identical to the historical output.
+    ``kind`` and ``params`` apply uniformly to every cell; grids whose
+    params vary per cell (Fig. 10's budgets) construct cells directly.
     """
     margins = tuple(margins)
+    frozen = freeze_params(params)
     return tuple(
         SweepCell(
             experiment=experiment,
@@ -148,6 +288,8 @@ def grid_cells(
             seed=seed,
             solver=solver,
             optimizer=optimizer,
+            kind=kind,
+            params=frozen,
         )
         for topology in topologies
         for margin in margins

@@ -6,9 +6,10 @@ import pytest
 
 import repro.cli
 from repro.cli import build_parser, main
-from repro.experiments.common import SCHEME_COLUMNS
+from repro.config import ExperimentConfig, SolverConfig
 from repro.runner.executor import CellResult, SweepReport
 from repro.runner.spec import cell_key
+from repro.utils.tables import format_csv
 
 
 def fake_run_sweep(spec, *, jobs=1, cache=None, **_kwargs):
@@ -17,7 +18,7 @@ def fake_run_sweep(spec, *, jobs=1, cache=None, **_kwargs):
         CellResult(
             cell=cell,
             key=cell_key(cell),
-            ratios={scheme: 1.0 + i for i, scheme in enumerate(SCHEME_COLUMNS)},
+            ratios={column: 1.0 + i for i, column in enumerate(cell.cell_columns())},
             cached=cache is not None,
         )
         for cell in spec.cells
@@ -141,3 +142,61 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         # 14 topologies x 9 margins
         assert "126 cells" in out
+
+    def test_sweep_fig9_prints_gap_summary(self, capsys):
+        assert main(["sweep", "fig9", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        # The footer note is reassembled from the report, not the driver.
+        assert "further from the optimum" in out
+
+    def test_sweep_fig10_merges_budget_cells_into_margin_rows(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(["sweep", "fig10", "--no-cache", "--out", str(out_dir)]) == 0
+        table = json.loads((out_dir / "fig10.table.json").read_text())
+        assert table["columns"] == ["margin", "ECMP", "ideal", "3 NHs", "5 NHs", "10 NHs"]
+        # Reduced config: 3 margins, each row merged from 4 cells.
+        assert len(table["rows"]) == 3
+        cells = json.loads((out_dir / "fig10.cells.json").read_text())
+        assert len(cells) == 12
+
+    def test_sweep_fig11_topology_rows(self, capsys):
+        assert main(["sweep", "fig11", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 11" in out and "5 cells" in out
+        assert "NSF cost" in out and "BBNPlanet" in out
+
+
+@pytest.mark.slow
+class TestFig11CliParity:
+    """`repro sweep fig11 --jobs 2` matches the serial driver row-for-row."""
+
+    def test_parallel_cli_matches_serial_driver(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.fig11_stretch import fig11
+
+        tiny = ExperimentConfig(
+            margins=(2.0,),
+            solver=SolverConfig(
+                max_adversarial_rounds=2,
+                max_inner_iterations=10,
+                smoothing_temperatures=(8.0, 64.0),
+            ),
+        )
+        monkeypatch.setattr(
+            ExperimentConfig, "from_environment", classmethod(lambda cls: tiny)
+        )
+        monkeypatch.setattr(
+            "repro.experiments.fig11_stretch.REDUCED_TOPOLOGIES", ("abilene", "nsf")
+        )
+        csv_path = tmp_path / "fig11.csv"
+        assert main(
+            ["sweep", "fig11", "--jobs", "2", "--no-cache", "--csv", str(csv_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 cells: 2 solved" in out
+        # The serial in-process driver (jobs=1, shared setups) must agree
+        # row-for-row with the worker-pool CLI run.  Parity with the
+        # *pre-refactor* drivers was established once against the old code
+        # at the refactor boundary; this guards serial/parallel divergence.
+        serial = fig11(tiny)
+        assert csv_path.read_text() == format_csv(serial)
