@@ -1,17 +1,15 @@
-"""Benchmark: Fig. 10 — approximating ideal splits with k virtual NHs.
+"""Benchmark: Fig. 10 — ideal splits with k virtual NHs (registry wrapper).
 
 Shape assertions: the rounded configurations interpolate between ECMP
 and the ideal ratios, and more virtual links never hurt (up to solver
 noise).
 """
 
-from conftest import run_once
-
-from repro.experiments.fig10_approximation import fig10
+from conftest import run_registry_benchmark
 
 
 def test_fig10_virtual_next_hops(benchmark, experiment_config):
-    table = run_once(benchmark, fig10, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig10", experiment_config)
     for margin, ecmp, ideal, nh3, nh5, nh10 in table.rows:
         assert ideal <= min(nh3, nh5, nh10) + 0.05
         assert nh10 <= nh3 + 0.15  # bigger budget tracks the ideal closer

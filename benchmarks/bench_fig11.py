@@ -1,16 +1,14 @@
-"""Benchmark: Fig. 11 — average path stretch of COYOTE vs ECMP.
+"""Benchmark: Fig. 11 — average path stretch (registry wrapper).
 
 The paper bounds the stretch around 1.1x; generous bounds here guard
 against pathological configurations while tolerating solver variance.
 """
 
-from conftest import run_once
-
-from repro.experiments.fig11_stretch import fig11
+from conftest import run_registry_benchmark
 
 
 def test_fig11_average_stretch(benchmark, experiment_config):
-    table = run_once(benchmark, fig11, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig11", experiment_config)
     for _network, obl, pk in table.rows:
         assert 0.8 <= obl <= 1.8
         assert 0.8 <= pk <= 1.8

@@ -1,18 +1,17 @@
-"""Benchmark: Fig. 12 — prototype packet-drop emulation.
+"""Benchmark: Fig. 12 — prototype packet-drop emulation (registry wrapper).
 
 Asserts the paper's outcome: every shared-DAG ECMP scheme loses 25-50%
 of packets in some phase; COYOTE's per-prefix lies drop (almost)
-nothing.
+nothing.  The registry entry selects each scheme's worst-phase drop
+rate.
 """
 
-from conftest import run_once
-
-from repro.experiments.fig12_prototype import fig12
+from conftest import run_registry_benchmark
 
 
 def test_fig12_prototype(benchmark, experiment_config):
-    table = run_once(benchmark, fig12, experiment_config)
-    worst = dict(zip(table.column("scheme"), table.column("worst")))
+    table = run_registry_benchmark(benchmark, "fig12", experiment_config)
+    worst = dict(zip(table.columns, table.rows[0]))
     assert worst["TE1"] > 0.25
     assert worst["TE2"] > 0.20
     assert worst["COYOTE"] < 0.02

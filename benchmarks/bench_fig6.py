@@ -1,16 +1,15 @@
 """Benchmark: Fig. 6 — Geant, gravity model, margin sweep.
 
-Shape assertions follow the paper: COYOTE-pk never loses to ECMP, and at
-margin 1 both Base and COYOTE-pk sit at the within-DAG optimum.
+Thin wrapper over the ``fig6`` bench-registry entry; shape assertions
+follow the paper: COYOTE-pk never loses to ECMP, and at margin 1 both
+Base and COYOTE-pk sit at the within-DAG optimum.
 """
 
-from conftest import run_once
-
-from repro.experiments.margin_sweep import fig6
+from conftest import run_registry_benchmark
 
 
 def test_fig6_geant_gravity(benchmark, experiment_config):
-    table = run_once(benchmark, fig6, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig6", experiment_config)
     for margin, ecmp, base, obl, pk in table.rows:
         assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"
         assert obl >= 1.0 - 1e-6  # ratios are normalized by the optimum

@@ -1,12 +1,10 @@
-"""Benchmark: Fig. 7 — Digex, gravity model, margin sweep."""
+"""Benchmark: Fig. 7 — Digex, gravity model, margin sweep (registry wrapper)."""
 
-from conftest import run_once
-
-from repro.experiments.margin_sweep import fig7
+from conftest import run_registry_benchmark
 
 
 def test_fig7_digex_gravity(benchmark, experiment_config):
-    table = run_once(benchmark, fig7, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig7", experiment_config)
     for margin, ecmp, base, obl, pk in table.rows:
         assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"
     # Base degrades under uncertainty: strictly worse at the widest

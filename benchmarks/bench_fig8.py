@@ -1,12 +1,10 @@
-"""Benchmark: Fig. 8 — AS1755, bimodal model, margin sweep."""
+"""Benchmark: Fig. 8 — AS1755, bimodal model, margin sweep (registry wrapper)."""
 
-from conftest import run_once
-
-from repro.experiments.margin_sweep import fig8
+from conftest import run_registry_benchmark
 
 
 def test_fig8_as1755_bimodal(benchmark, experiment_config):
-    table = run_once(benchmark, fig8, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig8", experiment_config)
     for margin, ecmp, base, obl, pk in table.rows:
         assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"
     print()

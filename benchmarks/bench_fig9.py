@@ -1,16 +1,14 @@
-"""Benchmark: Fig. 9 — local-search heuristic on Abilene (bimodal).
+"""Benchmark: Fig. 9 — local-search heuristic on Abilene (registry wrapper).
 
 The paper's claim: ECMP is on average substantially further from the
 demands-aware optimum than COYOTE when both use the local-search DAGs.
 """
 
-from conftest import run_once
-
-from repro.experiments.fig9_local_search import fig9
+from conftest import run_registry_benchmark
 
 
 def test_fig9_local_search(benchmark, experiment_config):
-    table = run_once(benchmark, fig9, experiment_config)
+    table = run_registry_benchmark(benchmark, "fig9", experiment_config)
     gaps = table.column("ECMP/COYOTE")
     assert all(g >= 1.0 - 1e-6 for g in gaps)  # COYOTE never loses
     assert max(gaps) > 1.0  # and strictly wins somewhere

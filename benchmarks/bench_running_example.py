@@ -1,20 +1,19 @@
-"""Benchmark: the running example (Fig. 1 / Appendix B).
+"""Benchmark: the running example (Fig. 1 / Appendix B, registry wrapper).
 
-Regenerates the three headline numbers — ECMP 3/2, Fig-1c 4/3, optimal
-sqrt(5)-1 — and asserts them, so the benchmark doubles as an end-to-end
-correctness gate on the optimization stack.
+The driver-table benchmark regenerates the three headline numbers —
+ECMP 3/2, Fig-1c 4/3, optimal sqrt(5)-1 — and asserts them, so the
+benchmark doubles as an end-to-end correctness gate on the optimization
+stack.
 """
 
 import math
 
-from conftest import run_once
-
-from repro.experiments.running_example import running_example_table
+from conftest import run_registry_benchmark
 
 
 def test_running_example(benchmark, experiment_config):
-    table = run_once(benchmark, running_example_table, experiment_config)
-    measured = dict(zip(table.column("scheme"), table.column("measured")))
+    table = run_registry_benchmark(benchmark, "running-example", experiment_config)
+    measured = dict(zip(table.columns, table.rows[0]))
     assert abs(measured["ECMP (Fig. 1b)"] - 1.5) < 1e-6
     assert abs(measured["COYOTE (Fig. 1c)"] - 4.0 / 3.0) < 1e-6
     assert abs(measured["COYOTE (optimized)"] - (math.sqrt(5) - 1)) < 0.01

@@ -1,16 +1,14 @@
-"""Benchmark: Table I — the full margin sweep (reduced grid by default).
+"""Benchmark: Table I — the full margin sweep (registry wrapper).
 
 Set ``REPRO_FULL=1`` for the paper-scale 14-topology, 9-margin table
 (hours of runtime, as the paper's own 'few minutes to few days' warns).
 """
 
-from conftest import run_once
-
-from repro.experiments.table1 import table1_experiment
+from conftest import run_registry_benchmark
 
 
 def test_table1(benchmark, experiment_config):
-    table = run_once(benchmark, table1_experiment, experiment_config)
+    table = run_registry_benchmark(benchmark, "table1", experiment_config)
     assert len(table) >= 6  # topologies x margins
     for _network, margin, ecmp, base, obl, pk in table.rows:
         assert pk <= ecmp + 1e-6, f"COYOTE-pk lost to ECMP at margin {margin}"

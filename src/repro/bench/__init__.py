@@ -1,0 +1,48 @@
+"""Benchmark harness and perf regression gates riding the sweep runner.
+
+``repro bench <name|all>`` times declared benchmark workloads through
+the same :func:`~repro.runner.executor.run_sweep` path the experiments
+use, emits machine-readable ``BENCH_<name>.json`` results, and — given a
+baseline — fails past a wall-clock regression threshold, giving CI a
+real performance gate.
+"""
+
+from repro.bench.baseline import (
+    BaselineError,
+    Comparison,
+    compare_to_baseline,
+    load_baselines,
+)
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    BenchResult,
+    bench_path,
+    run_benchmark,
+    spec_fingerprint,
+    write_bench_result,
+)
+from repro.bench.registry import (
+    BENCHMARKS,
+    Benchmark,
+    benchmark_names,
+    get_benchmark,
+    register_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCH_SCHEMA",
+    "BaselineError",
+    "Benchmark",
+    "BenchResult",
+    "Comparison",
+    "bench_path",
+    "benchmark_names",
+    "compare_to_baseline",
+    "get_benchmark",
+    "load_baselines",
+    "register_benchmark",
+    "run_benchmark",
+    "spec_fingerprint",
+    "write_bench_result",
+]

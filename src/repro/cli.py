@@ -1,4 +1,4 @@
-"""Command-line interface: run experiments, sweep grids, inspect topologies.
+"""Command-line interface: run experiments, sweep grids, benchmark, inspect.
 
 Examples:
     repro list
@@ -7,6 +7,9 @@ Examples:
     repro run table1 --csv /tmp/table1.csv --jobs 4
     repro sweep table1 --jobs 4 --out artifacts/
     repro sweep fig11 --full --jobs 8        # topology-parallel stretch
+    repro bench fig6 --jobs 2                # emits BENCH_fig6.json
+    repro bench all --out bench/             # every declared benchmark
+    repro bench fig6 --baseline BENCH_fig6.json --fail-on-regress 20
     repro topo geant
 """
 
@@ -16,6 +19,9 @@ import argparse
 import sys
 import time
 
+from repro.bench.baseline import compare_to_baseline, load_baselines
+from repro.bench.harness import run_benchmark, write_bench_result
+from repro.bench.registry import BENCHMARKS, benchmark_names, get_benchmark
 from repro.config import ExperimentConfig
 from repro.exceptions import ReproError
 from repro.experiments.registry import (
@@ -119,6 +125,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_benchmark_names(requested: list[str]) -> list[str]:
+    """Expand "all" and validate names (order preserved, no duplicates)."""
+    if "all" in requested:
+        return benchmark_names()
+    names: list[str] = []
+    for name in requested:
+        get_benchmark(name)  # raises ExperimentError for unknown names
+        if name not in names:
+            names.append(name)
+    return names
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        config = _experiment_config(args)
+        width = max(len(name) for name in BENCHMARKS)
+        for benchmark in BENCHMARKS.values():
+            print(f"{benchmark.name:<{width}}  {benchmark.description}")
+            print(f"{'':<{width}}  grid: {benchmark.grid_summary(config)}")
+        return 0
+    if not args.benchmarks:
+        print("error: name at least one benchmark (or 'all'; see --list)", file=sys.stderr)
+        return 1
+    config = _experiment_config(args)
+    # Benchmarks measure solve cost, so they never cache by default;
+    # --cache-dir opts in (CI's warm self-compare leg uses this).
+    cache = _cache_from(args, default_on=False)
+    # Loaded before any benchmark runs: a bad path fails fast, and an
+    # --out that overlaps the baseline directory can't clobber the
+    # reference timings before they are read.
+    baselines = load_baselines(args.baseline) if args.baseline is not None else None
+    payloads = []
+    for name in _resolve_benchmark_names(args.benchmarks):
+        result = run_benchmark(name, config, jobs=args.jobs, cache=cache)
+        path = write_bench_result(result, args.out)
+        print(f"{result.summary()} -> {path}")
+        payloads.append(result.payload())
+    if baselines is None:
+        return 0
+    failed = False
+    for payload in payloads:
+        comparison = compare_to_baseline(payload, baselines, args.fail_on_regress)
+        print(comparison.message)
+        failed = failed or comparison.failed
+    return 1 if failed else 0
+
+
 def _cmd_topo(args: argparse.Namespace) -> int:
     if args.name is None:
         for name in available_topologies():
@@ -145,6 +198,16 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _non_negative_float(value: str) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
     return parsed
 
 
@@ -195,6 +258,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time declared benchmarks through the sweep runner and emit "
+        "BENCH_<name>.json; with --baseline, gate on wall-clock regressions",
+    )
+    bench.add_argument(
+        "benchmarks", nargs="*", metavar="BENCHMARK",
+        help="benchmark names (or 'all'); see --list",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list declared benchmarks and their grids"
+    )
+    bench.add_argument("--full", action="store_true", help="use the paper-scale grid")
+    bench.add_argument(
+        "--out", metavar="DIR", default=".",
+        help="directory for BENCH_<name>.json results (default: current directory)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="PATH",
+        help="BENCH_*.json file or directory of them to compare wall-clock against",
+    )
+    bench.add_argument(
+        "--fail-on-regress", type=_non_negative_float, default=10.0, metavar="PCT",
+        help="with --baseline: exit non-zero when wall-clock regresses more than "
+        "PCT percent (default: 10)",
+    )
+    _add_runner_flags(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     topo = sub.add_parser("topo", help="list topologies or show one")
     topo.add_argument("name", nargs="?", help="topology name (omit to list all)")

@@ -23,6 +23,7 @@ from repro.config import ExperimentConfig
 from repro.experiments.common import coyote_partial_for_margin, shared_setup
 from repro.runner.executor import run_sweep
 from repro.runner.spec import CellKind, SweepCell, SweepSpec, register_cell_kind
+from repro.runner.timing import phase
 from repro.topologies.zoo import STRETCH_TOPOLOGIES
 from repro.utils.tables import Table
 
@@ -36,10 +37,11 @@ def solve_fig11_cell(cell: SweepCell) -> dict[str, float]:
     """One topology's average stretch for both COYOTE variants."""
     setup = shared_setup(cell)
     partial = coyote_partial_for_margin(setup, cell.margin)
-    return {
-        "COYOTE-obl": setup.coyote_oblivious.average_stretch_against(setup.ecmp),
-        "COYOTE-pk": partial.average_stretch_against(setup.ecmp),
-    }
+    with phase("evaluate"):
+        return {
+            "COYOTE-obl": setup.coyote_oblivious.average_stretch_against(setup.ecmp),
+            "COYOTE-pk": partial.average_stretch_against(setup.ecmp),
+        }
 
 
 FIG11_KIND = register_cell_kind(

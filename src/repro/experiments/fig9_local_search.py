@@ -29,6 +29,7 @@ from repro.experiments.common import base_matrix_for
 from repro.lp.worst_case import WorstCaseOracle
 from repro.runner.executor import run_sweep
 from repro.runner.spec import CellKind, SweepCell, SweepSpec, grid_cells, register_cell_kind
+from repro.runner.timing import phase
 from repro.topologies.zoo import load_topology
 from repro.utils.tables import Table
 
@@ -42,27 +43,30 @@ def solve_fig9_cell(cell: SweepCell) -> dict[str, float]:
     oracle evaluation and COYOTE optimization use the cell's full solver
     config, mirroring the historical serial driver exactly.
     """
-    network = load_topology(cell.topology)
-    base = base_matrix_for(network, cell.demand_model, cell.seed)
-    uncertainty = margin_box(base, cell.margin)
-    search = local_search_weights(network, uncertainty, config=cell.solver.scaled_down())
-    weights = {e: float(w) for e, w in search.weights.items()}
-    dags = build_dags(network, weights, augment=True)
-    ecmp = ecmp_routing(network, weights)
-    projection = project_ecmp_into_dags(ecmp, dags)
-    oracle = WorstCaseOracle(network, uncertainty, dags=dags, config=cell.solver)
-    coyote = optimize_robust_splitting(
-        network,
-        dags,
-        uncertainty,
-        config=cell.solver,
-        initial_matrices=[base, *search.matrices],
-        extra_starts=[projection.ratios],
-        fallbacks=[projection],
-        name="COYOTE",
-    ).routing
-    ecmp_ratio = oracle.evaluate(ecmp).ratio
-    coyote_ratio = oracle.evaluate(coyote).ratio
+    with phase("setup"):
+        network = load_topology(cell.topology)
+        base = base_matrix_for(network, cell.demand_model, cell.seed)
+        uncertainty = margin_box(base, cell.margin)
+    with phase("solve"):
+        search = local_search_weights(network, uncertainty, config=cell.solver.scaled_down())
+        weights = {e: float(w) for e, w in search.weights.items()}
+        dags = build_dags(network, weights, augment=True)
+        ecmp = ecmp_routing(network, weights)
+        projection = project_ecmp_into_dags(ecmp, dags)
+        oracle = WorstCaseOracle(network, uncertainty, dags=dags, config=cell.solver)
+        coyote = optimize_robust_splitting(
+            network,
+            dags,
+            uncertainty,
+            config=cell.solver,
+            initial_matrices=[base, *search.matrices],
+            extra_starts=[projection.ratios],
+            fallbacks=[projection],
+            name="COYOTE",
+        ).routing
+    with phase("evaluate"):
+        ecmp_ratio = oracle.evaluate(ecmp).ratio
+        coyote_ratio = oracle.evaluate(coyote).ratio
     gap = ecmp_ratio / coyote_ratio if coyote_ratio > 0 else float("nan")
     return {"ECMP": ecmp_ratio, "COYOTE": coyote_ratio, "ECMP/COYOTE": gap}
 

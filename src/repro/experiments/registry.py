@@ -1,9 +1,19 @@
-"""The experiment registry: one entry per paper table/figure."""
+"""The experiment registry: one entry per paper table/figure.
+
+Besides the per-experiment entries this module registers the generic
+``"driver-table"`` cell kind, which wraps any registered experiment's
+driver as a single sweep cell: the cell's params name the experiment and
+the (key, value) table columns to extract, and the cell's result is the
+selected rows' values.  Single-unit experiments (the running example,
+Fig. 12's prototype, the hardness theorems) thereby ride the same
+executor, result cache, and timing hooks as the grid experiments — the
+benchmark harness builds on exactly this.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.config import ExperimentConfig
 from repro.exceptions import ExperimentError
@@ -15,7 +25,14 @@ from repro.experiments.hardness import theorem1_table, theorem4_table
 from repro.experiments.margin_sweep import fig6, fig6_spec, fig7, fig7_spec, fig8, fig8_spec
 from repro.experiments.running_example import running_example_table
 from repro.experiments.table1 import table1_experiment, table1_spec
-from repro.runner.spec import SweepSpec
+from repro.runner.spec import (
+    CellKind,
+    SweepCell,
+    SweepSpec,
+    freeze_params,
+    register_cell_kind,
+)
+from repro.runner.timing import phase
 from repro.utils.tables import Table
 
 Driver = Callable[[ExperimentConfig | None], Table]
@@ -113,3 +130,90 @@ def _get_experiment(experiment_id: str) -> Experiment:
 def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> Table:
     """Run one experiment by id (raises ExperimentError for unknown ids)."""
     return _get_experiment(experiment_id).driver(config)
+
+
+def solve_driver_cell(cell: SweepCell) -> dict[str, float]:
+    """Run a whole experiment driver as one sweep cell.
+
+    The cell's params declare which experiment to run and how to project
+    its table onto scalar result columns: ``select`` lists values of
+    ``key_column`` whose ``value_column`` entries become the cell's
+    results.  The driver call is recorded as the "solve" phase (drivers
+    don't decompose further, so setup/evaluate stay unattributed).
+    """
+    params = cell.params_dict()
+    config = ExperimentConfig(
+        margins=(cell.margin,),
+        solver=cell.solver,
+        demand_model=cell.demand_model,
+        seed=cell.seed,
+        full=bool(params.get("full", False)),
+    )
+    with phase("solve"):
+        table = run_experiment(params["driver"], config)
+    mapping = dict(zip(table.column(params["key_column"]), table.column(params["value_column"])))
+    missing = [key for key in params["select"] if key not in mapping]
+    if missing:
+        raise ExperimentError(
+            f"driver {params['driver']!r} produced no {params['key_column']!r} rows "
+            f"{missing!r} (got {sorted(map(str, mapping))!r})"
+        )
+    return {str(key): float(mapping[key]) for key in params["select"]}
+
+
+DRIVER_KIND = register_cell_kind(
+    CellKind(
+        name="driver-table",
+        solve=solve_driver_cell,
+        columns=lambda params: tuple(params["select"]),
+    )
+)
+
+
+def driver_spec(
+    experiment_id: str,
+    select: Sequence[str],
+    *,
+    key_column: str = "scheme",
+    value_column: str = "measured",
+    config: ExperimentConfig | None = None,
+    title: str | None = None,
+) -> SweepSpec:
+    """Declare a single driver-table cell wrapping one experiment.
+
+    The returned spec has one row, identified by the ``driver`` param,
+    whose value columns are the selected table entries.  Everything that
+    determines the driver's output and participates in fingerprints —
+    solver config, demand model, seed — is carried on the cell; the
+    margin is pinned to the config's first margin (single-unit drivers
+    either ignore it or use exactly one).
+    """
+    experiment = _get_experiment(experiment_id)
+    config = config or ExperimentConfig.from_environment()
+    cell = SweepCell(
+        experiment=experiment.id,
+        topology="driver",
+        demand_model=config.demand_model,
+        margin=config.margins[0],
+        seed=config.seed,
+        solver=config.solver,
+        kind=DRIVER_KIND.name,
+        params=freeze_params(
+            {
+                "driver": experiment.id,
+                "select": tuple(select),
+                "key_column": key_column,
+                "value_column": value_column,
+                # Full-scale selection participates in the fingerprint:
+                # a reduced-grid result must never be served (or gated)
+                # as a paper-scale one.
+                "full": config.full,
+            }
+        ),
+    )
+    return SweepSpec(
+        experiment=experiment.id,
+        title=title or experiment.description,
+        cells=(cell,),
+        row_columns=("driver",),
+    )

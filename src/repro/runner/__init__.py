@@ -12,6 +12,7 @@ from repro.runner.artifacts import write_artifacts
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.executor import CellResult, SweepReport, run_sweep, solve_cell
 from repro.runner.memo import LruMemo, clear_all_memos
+from repro.runner.timing import phase, record_phases, timed_solve
 from repro.runner.spec import (
     CACHE_VERSION,
     CellKind,
@@ -39,8 +40,11 @@ __all__ = [
     "default_cache_dir",
     "freeze_params",
     "grid_cells",
+    "phase",
+    "record_phases",
     "register_cell_kind",
     "run_sweep",
     "solve_cell",
+    "timed_solve",
     "write_artifacts",
 ]

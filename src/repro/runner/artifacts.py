@@ -51,6 +51,7 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
             "fingerprint": result.cell.fingerprint(),
             "result": result.ratios,
             "cached": result.cached,
+            "timings": {name: round(seconds, 6) for name, seconds in result.timings.items()},
         }
         for result in report.results
     ]

@@ -30,13 +30,14 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exceptions import ExperimentError
 from repro.runner.cache import ResultCache
 from repro.runner.memo import clear_all_memos
 from repro.runner.spec import SweepCell, SweepSpec, cell_key, cell_kind
+from repro.runner.timing import timed_solve
 from repro.topologies.zoo import topology_info
 from repro.utils.tables import Table
 
@@ -48,25 +49,27 @@ def solve_cell(cell: SweepCell) -> dict[str, float]:
 
 def _solve_chunk(
     solve: Callable[[SweepCell], dict[str, float]], cells: list[SweepCell]
-) -> list[tuple[str, object, str | None]]:
+) -> list[tuple[str, object, str | None, dict[str, float]]]:
     """Solve same-setup cells serially in one worker, stopping at a failure.
 
-    Returns per-cell ("ok", ratios, None) / ("error", exception, detail)
-    outcomes so the parent still records and caches every cell solved
-    before a failure.  ``detail`` carries the failing cell's identity and
-    the worker-side traceback, which pickling the exception alone would
-    lose.
+    Returns per-cell ("ok", ratios, None, timings) / ("error", exception,
+    detail, {}) outcomes so the parent still records and caches every
+    cell solved before a failure.  ``detail`` carries the failing cell's
+    identity and the worker-side traceback, which pickling the exception
+    alone would lose; ``timings`` carries the per-phase durations the
+    worker recorded (see :mod:`repro.runner.timing`).
     """
-    outcomes: list[tuple[str, object, str | None]] = []
+    outcomes: list[tuple[str, object, str | None, dict[str, float]]] = []
     for cell in cells:
         try:
-            outcomes.append(("ok", solve(cell), None))
+            ratios, timings = timed_solve(solve, cell)
+            outcomes.append(("ok", ratios, None, timings))
         except Exception as error:
             detail = (
                 f"cell {cell.topology}/{cell.demand_model} margin={cell.margin:g} "
                 f"kind={cell.kind} failed in worker:\n{traceback.format_exc()}"
             )
-            outcomes.append(("error", error, detail))
+            outcomes.append(("error", error, detail, {}))
             break
     return outcomes
 
@@ -131,12 +134,18 @@ def _row_value(cell: SweepCell, column: str, *, display: bool):
 
 @dataclass(frozen=True)
 class CellResult:
-    """One solved (or cache-served) cell."""
+    """One solved (or cache-served) cell.
+
+    ``timings`` maps phase names ("setup"/"solve"/"evaluate" plus
+    "total") to seconds for freshly solved cells; cache-served cells
+    carry an empty dict — no work was timed.
+    """
 
     cell: SweepCell
     key: str
     ratios: dict[str, float]
     cached: bool
+    timings: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -155,6 +164,18 @@ class SweepReport:
     @property
     def cached(self) -> int:
         return sum(1 for result in self.results if result.cached)
+
+    def phase_totals(self) -> dict[str, float]:
+        """Per-phase seconds summed over every freshly solved cell.
+
+        Cached cells contribute nothing (their timings are empty), so
+        the totals measure work actually performed by this sweep.
+        """
+        totals: dict[str, float] = {}
+        for result in self.results:
+            for name, seconds in result.timings.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     def table(self) -> Table:
         """Reassemble the table in declared cell order.
@@ -238,6 +259,7 @@ def run_sweep(
     clear_all_memos()
     started = time.time()
     ratios_by_index: dict[int, dict[str, float]] = {}
+    timings_by_index: dict[int, dict[str, float]] = {}
     cached_indexes: set[int] = set()
 
     pending: list[tuple[int, SweepCell]] = []
@@ -251,8 +273,11 @@ def run_sweep(
 
     # Results are cached as they arrive, not after the sweep completes, so
     # an interrupted or partially failed run preserves every solved cell.
-    def record(index: int, cell: SweepCell, ratios: dict[str, float]) -> None:
+    def record(
+        index: int, cell: SweepCell, ratios: dict[str, float], timings: dict[str, float]
+    ) -> None:
         ratios_by_index[index] = ratios
+        timings_by_index[index] = timings
         if cache is not None:
             cache.put(cell, ratios)
 
@@ -284,9 +309,9 @@ def run_sweep(
                 except Exception as error:
                     fail_fast(error)
                     continue
-                for (index, cell), (status, value, detail) in zip(chunk, outcomes):
+                for (index, cell), (status, value, detail, timings) in zip(chunk, outcomes):
                     if status == "ok":
-                        record(index, cell, value)
+                        record(index, cell, value, timings)
                     else:
                         # Re-attach the worker-side context lost to pickling:
                         # `raise first_error` then chains the original
@@ -297,7 +322,8 @@ def run_sweep(
                 raise first_error
     else:
         for index, cell in pending:
-            record(index, cell, solve(cell))
+            ratios, timings = timed_solve(solve, cell)
+            record(index, cell, ratios, timings)
 
     results = [
         CellResult(
@@ -305,6 +331,7 @@ def run_sweep(
             key=cell_key(cell),
             ratios=ratios_by_index[index],
             cached=index in cached_indexes,
+            timings=timings_by_index.get(index, {}),
         )
         for index, cell in enumerate(spec.cells)
     ]

@@ -1,0 +1,85 @@
+"""Per-cell phase timing for sweep solves (monotonic clocks).
+
+The benchmark harness wants to know not just how long a cell took but
+*where* the time went: building the margin-independent setup, running
+the robust optimization, evaluating routings against the worst-case
+oracle.  Those phases live deep inside the cell-kind solve functions,
+so instrumentation is a thread-local recorder: the executor installs a
+sink around each solve (:func:`timed_solve`), and instrumented code
+wraps its hot sections in :func:`phase`.  With no sink installed —
+every non-benchmark caller — :func:`phase` is a no-op, so drivers and
+tests pay nothing.
+
+Durations come from :func:`time.perf_counter` (monotonic, not subject
+to wall-clock adjustment).  Re-entering a phase accumulates; nesting
+*different* phases double-counts the inner one in the outer, so the
+instrumented phases are kept disjoint (setup / solve / evaluate).
+The recorder is per-thread and travels with the worker process, so
+parallel sweeps time each cell exactly like serial ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+#: The phase names the experiment kinds record, in pipeline order.
+PHASES = ("setup", "solve", "evaluate")
+
+#: Key under which :func:`timed_solve` stores the whole solve's duration.
+TOTAL = "total"
+
+_LOCAL = threading.local()
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accumulate the block's duration under ``name`` in the active sink.
+
+    No-op (zero bookkeeping beyond one attribute lookup) when no sink is
+    installed, so instrumented library code is safe to call from
+    anywhere.
+    """
+    sink = getattr(_LOCAL, "sink", None)
+    if sink is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[name] = sink.get(name, 0.0) + (time.perf_counter() - started)
+
+
+@contextmanager
+def record_phases(sink: dict[str, float]) -> Iterator[dict[str, float]]:
+    """Install ``sink`` as this thread's phase collector for the block.
+
+    The previous sink (if any) is restored on exit, so nested recordings
+    don't leak into each other.
+    """
+    previous = getattr(_LOCAL, "sink", None)
+    _LOCAL.sink = sink
+    try:
+        yield sink
+    finally:
+        _LOCAL.sink = previous
+
+
+def timed_solve(solve: Callable[..., T], *args, **kwargs) -> tuple[T, dict[str, float]]:
+    """Run ``solve`` under a fresh recorder; return (result, timings).
+
+    The timings dict maps each recorded phase to its accumulated seconds
+    plus :data:`TOTAL` for the entire call, so unattributed time is
+    visible as ``total - sum(phases)``.
+    """
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+    with record_phases(timings):
+        result = solve(*args, **kwargs)
+    timings[TOTAL] = time.perf_counter() - started
+    return result, timings

@@ -11,6 +11,22 @@ from repro.topologies.generators import running_example_network
 from repro.topologies.zoo import load_topology
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json fixtures from the current solver "
+        "output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether golden-table tests should rewrite their fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def diamond() -> Network:
     """A 4-node diamond: a -> {b, c} -> d, plus reverse edges."""

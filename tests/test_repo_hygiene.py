@@ -1,0 +1,115 @@
+"""Repo hygiene: ignore rules and lint coverage track the tree's litter.
+
+``benchmarks/`` and ``examples/`` historically grew ``__pycache__``
+directories that nothing ignored, and runtime artifacts (bench results,
+sweep caches) would otherwise show up as untracked noise.  These tests
+pin the ``.gitignore`` and ruff coverage so the fix can't silently rot.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every pattern the repo's runtime is known to produce.
+REQUIRED_IGNORES = {
+    "__pycache__/",
+    "*.pyc",
+    ".pytest_cache/",
+    "*.egg-info/",
+    ".benchmarks/",       # pytest-benchmark's storage
+    ".hypothesis/",       # hypothesis' example database
+    ".sweep-cache/",      # CI sweep smoke cache
+    "BENCH_*.json",       # repro bench results (committed only as CI artifacts)
+    "sweep-artifacts/",   # repro sweep --out (CI smoke)
+    "bench-artifacts/",   # repro bench --out (CI smoke)
+}
+
+#: Directories containing first-party Python that ruff must target.
+PYTHON_DIRS = ("src", "tests", "benchmarks", "examples")
+
+
+def _gitignore_patterns() -> set[str]:
+    text = (REPO_ROOT / ".gitignore").read_text()
+    return {
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    }
+
+
+def test_gitignore_covers_runtime_litter():
+    missing = REQUIRED_IGNORES - _gitignore_patterns()
+    assert not missing, f".gitignore lacks patterns for runtime litter: {sorted(missing)}"
+
+
+def test_ruff_lints_the_whole_tree_in_ci():
+    # Lint coverage comes from the CI invocation, not [tool.ruff] src
+    # (which only sets import-resolution roots): `ruff check .` must
+    # stay whole-tree so benchmarks/ and examples/ never silently lose
+    # coverage, and the format check must name every python directory.
+    workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "ruff check ." in workflow
+    format_line = next(
+        line for line in workflow.splitlines()
+        if line.strip().startswith("run: ruff format --check")
+    )
+    for directory in PYTHON_DIRS:
+        assert directory in format_line, (
+            f"CI's ruff format check must include {directory!r}"
+        )
+
+
+def test_ruff_resolves_first_party_imports_everywhere():
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    src_line = next(
+        line for line in pyproject.splitlines() if line.startswith("src = [")
+    )
+    for directory in PYTHON_DIRS:
+        assert f'"{directory}"' in src_line, (
+            f"pyproject.toml [tool.ruff] src should include {directory!r} so "
+            f"first-party imports resolve there"
+        )
+
+
+def test_python_dirs_exist_and_hold_python():
+    for directory in PYTHON_DIRS:
+        assert list((REPO_ROOT / directory).rglob("*.py")), directory
+
+
+def test_no_bytecode_or_artifacts_tracked_by_git():
+    git = shutil.which("git")
+    if git is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    tracked = subprocess.run(
+        [git, "-C", str(REPO_ROOT), "ls-files"],
+        capture_output=True, text=True, check=True,
+    ).stdout.splitlines()
+    offenders = [
+        path for path in tracked
+        if "__pycache__" in path
+        or path.endswith(".pyc")
+        or path.startswith("BENCH_")
+    ]
+    assert not offenders, f"bytecode/artifacts committed to git: {offenders}"
+
+
+def test_benchmark_and_example_pycache_ignored_by_git():
+    git = shutil.which("git")
+    if git is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    # check-ignore exits 0 only when every path is covered by an ignore rule.
+    result = subprocess.run(
+        [
+            git, "-C", str(REPO_ROOT), "check-ignore",
+            "benchmarks/__pycache__", "examples/__pycache__",
+            "benchmarks/bench_fig6.pyc", "BENCH_table1.json",
+        ],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, f"paths not ignored:\n{result.stdout}"
