@@ -111,6 +111,21 @@ def compare_to_baseline(
             f"{name}: baseline was recorded with {baseline_hits} cache hit(s), so "
             f"its wall-clock does not measure solve cost; re-record it uncached",
         )
+    if baseline.get("profiled"):
+        return Comparison(
+            name,
+            "incomparable",
+            f"{name}: baseline was recorded under --profile, so its wall-clock "
+            f"includes profiler overhead; re-record it unprofiled",
+        )
+    if payload.get("profiled"):
+        return Comparison(
+            name,
+            "incomparable",
+            f"{name}: current run used --profile, so its wall-clock includes "
+            f"profiler overhead and cannot gate against an unprofiled "
+            f"baseline; re-run without --profile",
+        )
     current = float(payload["wall_clock_seconds"])
     reference = float(baseline["wall_clock_seconds"])
     delta_pct = 100.0 * (current - reference) / reference if reference > 0 else 0.0

@@ -18,9 +18,11 @@ is both the CI artifact and the baseline format
 
 from __future__ import annotations
 
+import cProfile
 import hashlib
 import json
-from dataclasses import dataclass
+import pstats
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -32,7 +34,33 @@ from repro.runner.spec import CACHE_VERSION, SweepSpec, cell_key
 from repro.utils.jsonio import write_json_atomic
 
 #: Payload format tag; bump when the BENCH_*.json shape changes.
+#: (The optional "profile" key added by ``--profile`` is additive and
+#: does not constitute a shape change.)
 BENCH_SCHEMA = "repro-bench-v1"
+
+#: How many cumulative-time entries ``--profile`` embeds in the payload.
+PROFILE_TOP = 30
+
+
+def _profile_records(profiler: cProfile.Profile, top: int) -> list[dict]:
+    """The top-N cumulative functions of a finished profiler, serializable."""
+    stats = pstats.Stats(profiler)
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True  # ct
+    )
+    records = []
+    for (filename, line, function), (_cc, ncalls, tottime, cumtime, _callers) in entries[:top]:
+        records.append(
+            {
+                "function": function,
+                "file": filename,
+                "line": line,
+                "ncalls": ncalls,
+                "tottime_seconds": round(tottime, 6),
+                "cumtime_seconds": round(cumtime, 6),
+            }
+        )
+    return records
 
 
 def spec_fingerprint(spec: SweepSpec) -> str:
@@ -71,6 +99,8 @@ class BenchResult:
     benchmark: Benchmark
     report: SweepReport
     full: bool
+    #: Top cumulative profile entries when the run was profiled, else None.
+    profile: list[dict] | None = field(default=None)
 
     def table(self):
         return self.report.table()
@@ -79,7 +109,7 @@ class BenchResult:
         """The machine-readable ``BENCH_<name>.json`` document."""
         report = self.report
         table = self.table()
-        return {
+        payload = {
             "schema": BENCH_SCHEMA,
             "benchmark": self.benchmark.name,
             "experiment": self.benchmark.experiment,
@@ -99,6 +129,18 @@ class BenchResult:
                 "rows": [list(row) for row in table.rows],
             },
         }
+        if self.profile is not None:
+            payload["profiled"] = True
+            payload["profile"] = {
+                "top_cumulative": self.profile,
+                "note": (
+                    "cProfile covers the coordinating process only; with "
+                    "--jobs > 1, worker-side solves are not attributed. "
+                    "Profiler overhead inflates wall_clock_seconds — do not "
+                    "use a profiled run as a --baseline reference."
+                ),
+            }
+        return payload
 
     def summary(self) -> str:
         report = self.report
@@ -122,6 +164,7 @@ def run_benchmark(
     jobs: int = 1,
     cache: ResultCache | None = None,
     solve: Callable[[SweepCell], dict[str, float]] = solve_cell,
+    profile: bool = False,
 ) -> BenchResult:
     """Execute one benchmark and return its timed result.
 
@@ -134,12 +177,26 @@ def run_benchmark(
             phase time and count as hits, so benchmarks meant to measure
             solve cost should run uncached (the CLI's default).
         solve: cell solver (injectable for tests).
+        profile: run the sweep under cProfile and attach the top
+            :data:`PROFILE_TOP` cumulative functions to the payload, so
+            the next hot spot is visible without ad-hoc scripts.  With
+            ``jobs > 1`` only the coordinating process is profiled.
     """
     if isinstance(benchmark, str):
         benchmark = get_benchmark(benchmark)
     config = config or ExperimentConfig.from_environment()
-    report = run_sweep(benchmark.spec(config), jobs=jobs, cache=cache, solve=solve)
-    return BenchResult(benchmark=benchmark, report=report, full=config.full)
+    records: list[dict] | None = None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = run_sweep(benchmark.spec(config), jobs=jobs, cache=cache, solve=solve)
+        finally:
+            profiler.disable()
+        records = _profile_records(profiler, PROFILE_TOP)
+    else:
+        report = run_sweep(benchmark.spec(config), jobs=jobs, cache=cache, solve=solve)
+    return BenchResult(benchmark=benchmark, report=report, full=config.full, profile=records)
 
 
 def bench_path(out_dir: str | Path, name: str) -> Path:

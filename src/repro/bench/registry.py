@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro.config import ExperimentConfig
 from repro.exceptions import ExperimentError
+from repro.experiments.kernel_micro import kernel_micro_spec
 from repro.experiments.registry import driver_spec, experiment_spec
 from repro.runner.spec import SweepSpec
 
@@ -85,6 +86,24 @@ register_benchmark(
             select=("ECMP (Fig. 1b)", "COYOTE (Fig. 1c)", "COYOTE (optimized)"),
             config=config,
         ),
+    )
+)
+
+register_benchmark(
+    Benchmark(
+        name="kernel-spf",
+        experiment="kernel-spf",
+        description="Kernel micro: batched SPF + DAG extraction vs per-dest Dijkstra",
+        spec=lambda config: kernel_micro_spec("spf", config),
+    )
+)
+
+register_benchmark(
+    Benchmark(
+        name="kernel-propagate",
+        experiment="kernel-propagate",
+        description="Kernel micro: vectorized flow propagation vs dict recursion",
+        spec=lambda config: kernel_micro_spec("propagate", config),
     )
 )
 

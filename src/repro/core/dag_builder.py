@@ -27,6 +27,7 @@ from repro.exceptions import GraphError
 from repro.graph.dag import Dag
 from repro.graph.network import Edge, Network, Node
 from repro.graph.paths import dijkstra_to_target, shortest_path_dag
+from repro.kernel import kernel_enabled
 
 
 def augment_dag(
@@ -80,6 +81,12 @@ def build_dags(
 ) -> dict[Node, Dag]:
     """Shortest-path DAGs for the given weights, optionally augmented.
 
+    The kernel path (default) batches all destinations' Dijkstras into
+    one CSR shortest-path call; the reference path runs one search per
+    destination and threads its distances into the DAG extraction.
+    Changing how either path derives DAGs changes solver semantics —
+    bump ``CACHE_VERSION`` in :mod:`repro.runner.spec` alongside.
+
     Raises:
         GraphError: when some node cannot reach a requested destination
             (the topology loaders guarantee strong connectivity, so this
@@ -87,14 +94,24 @@ def build_dags(
     """
     targets = destinations if destinations is not None else network.nodes()
     dags: dict[Node, Dag] = {}
-    for t in targets:
-        distances = dijkstra_to_target(network, weights, t)
+    if kernel_enabled():
+        from repro.kernel.spf import all_targets_spf
+
+        state = all_targets_spf(network, weights)
+        per_target = {t: (state.dag(t), state.distances(t)) for t in targets}
+    else:
+        per_target = {}
+        for t in targets:
+            # One Dijkstra per destination: the DAG extraction reuses the
+            # distances instead of re-running the search.
+            distances = dijkstra_to_target(network, weights, t)
+            per_target[t] = (shortest_path_dag(network, weights, t, distances), distances)
+    for t, (sp, distances) in per_target.items():
         unreachable = [n for n, d in distances.items() if math.isinf(d)]
         if unreachable:
             raise GraphError(
                 f"nodes {sorted(map(str, unreachable))} cannot reach destination {t!r}"
             )
-        sp = shortest_path_dag(network, weights, t)
         dags[t] = augment_dag(network, sp, distances) if augment else sp
     return dags
 

@@ -32,7 +32,9 @@ from repro.ecmp.routing import ecmp_routing
 from repro.ecmp.weights import integer_scaled_weights, inverse_capacity_weights
 from repro.exceptions import SolverError
 from repro.graph.network import Edge, Network
+from repro.kernel import kernel_enabled
 from repro.lp.worst_case import WorstCaseOracle, normalize_to_unit_optimum
+from repro.runner.timing import phase
 from repro.utils.seeding import rng_from_seed
 
 #: Integer OSPF weights explored by the neighborhood search, as in
@@ -67,9 +69,19 @@ def ecmp_utilization(
     weights: dict[Edge, float],
     matrices: list[DemandMatrix],
 ) -> float:
-    """Worst ECMP max-link-utilization across normalized matrices."""
+    """Worst ECMP max-link-utilization across normalized matrices.
+
+    Kernel swap-in: one batched SPF + vectorized propagation replaces
+    DAG-object construction per destination (reference path kept below
+    for differential tests).  Changing these semantics requires a
+    ``CACHE_VERSION`` bump in :mod:`repro.runner.spec`.
+    """
     if not matrices:
         return 0.0
+    if kernel_enabled():
+        from repro.kernel.delta import ecmp_max_utilization
+
+        return ecmp_max_utilization(network, weights, matrices)
     routing = ecmp_routing(network, weights)
     return max(routing.max_link_utilization(dm, network) for dm in matrices)
 
@@ -89,6 +101,26 @@ def _candidate_values(current: int) -> list[int]:
     return sorted(v for v in raw if 1 <= v <= MAX_WEIGHT and v != current)
 
 
+def _focus_from_utilization(
+    network: Network, utilization: dict[Edge, float]
+) -> list[Edge]:
+    """The search neighborhood: edges incident to the most congested links.
+
+    Ties on utilization break lexicographically (not by dict insertion
+    order): the kernel path accumulates loads in edge-index order while
+    the reference accumulates in propagation order, and the two modes
+    must explore identical neighborhoods to stay row-identical.
+    """
+    if not utilization:
+        return network.edges()
+    hot = sorted(utilization, key=lambda edge: (-utilization[edge], str(edge)))[:3]
+    endpoints = {node for edge in hot for node in edge}
+    focus = [
+        e for e in network.edges() if e[0] in endpoints or e[1] in endpoints
+    ]
+    return focus or network.edges()
+
+
 def _focus_edges(
     network: Network,
     weights: dict[Edge, float],
@@ -102,14 +134,7 @@ def _focus_edges(
         for edge, flow in loads.items():
             capacity = network.capacity(*edge)
             utilization[edge] = max(utilization.get(edge, 0.0), flow / capacity)
-    if not utilization:
-        return network.edges()
-    hot = sorted(utilization, key=utilization.get, reverse=True)[:3]
-    endpoints = {node for edge in hot for node in edge}
-    focus = [
-        e for e in network.edges() if e[0] in endpoints or e[1] in endpoints
-    ]
-    return focus or network.edges()
+    return _focus_from_utilization(network, utilization)
 
 
 def weight_search(
@@ -120,9 +145,33 @@ def weight_search(
     max_moves: int = 12,
     tabu_length: int = 4,
 ) -> dict[Edge, int]:
-    """FORTZTHORUP(G, D, c): single-weight moves minimizing worst utilization."""
+    """FORTZTHORUP(G, D, c): single-weight moves minimizing worst utilization.
+
+    The kernel path scores every candidate move through
+    :class:`~repro.kernel.delta.EcmpDeltaEvaluator` — only destinations
+    whose shortest-path DAG a single-weight change can touch are
+    re-solved; everything else reuses committed arrays.  The pure-Python
+    path (``REPRO_KERNEL=0``) re-derives every destination per candidate
+    and is kept as the behavioral reference.  Both record the
+    ``"weight_step"`` timing sub-phase (nested inside the owning cell's
+    "solve" phase, so it is *part of* — not additive to — solve time).
+    """
     if not matrices:
         return dict(weights)
+    with phase("weight_step"):
+        if kernel_enabled():
+            return _weight_search_kernel(network, weights, matrices, max_moves, tabu_length)
+        return _weight_search_reference(network, weights, matrices, max_moves, tabu_length)
+
+
+def _weight_search_reference(
+    network: Network,
+    weights: dict[Edge, int],
+    matrices: list[DemandMatrix],
+    max_moves: int,
+    tabu_length: int,
+) -> dict[Edge, int]:
+    """From-scratch re-evaluation per candidate (the differential oracle)."""
     current = dict(weights)
     best_value = ecmp_utilization(network, current, matrices)
     tabu: list[Edge] = []
@@ -144,6 +193,54 @@ def weight_search(
             break
         edge, value = move
         current[edge] = value
+        best_value = move_value
+        tabu.append(edge)
+        if len(tabu) > tabu_length:
+            tabu.pop(0)
+    return current
+
+
+def _weight_search_kernel(
+    network: Network,
+    weights: dict[Edge, int],
+    matrices: list[DemandMatrix],
+    max_moves: int,
+    tabu_length: int,
+) -> dict[Edge, int]:
+    """Delta-evaluated neighborhood search (same moves, array state)."""
+    from repro.kernel.delta import EcmpDeltaEvaluator
+
+    evaluator = EcmpDeltaEvaluator(
+        network, {e: float(w) for e, w in weights.items()}, matrices
+    )
+    current = dict(weights)
+    best_value = evaluator.utilization()
+    tabu: list[Edge] = []
+    for _ in range(max_moves):
+        focus = _focus_from_utilization(network, evaluator.per_edge_utilization())
+        move: tuple[Edge, int] | None = None
+        chosen = None
+        move_value = best_value
+        for edge in focus:
+            if edge in tabu:
+                continue
+            for value in _candidate_values(current[edge]):
+                # prune_above: a candidate whose load lower bound cannot
+                # beat the incumbent threshold is rejected without a
+                # re-solve — exactly the moves the full evaluation's
+                # `< move_value - 1e-9` test would reject anyway.
+                candidate = evaluator.evaluate_move(
+                    edge, float(value), prune_above=move_value - 1e-9
+                )
+                if candidate is None:
+                    continue
+                if candidate.utilization < move_value - 1e-9:
+                    move_value, move, chosen = candidate.utilization, (edge, value), candidate
+        if move is None:
+            break
+        edge, value = move
+        current[edge] = value
+        evaluator.commit(chosen)
         best_value = move_value
         tabu.append(edge)
         if len(tabu) > tabu_length:

@@ -155,7 +155,13 @@ def coyote_partial_for_margin(setup: ExperimentSetup, margin: float) -> Routing:
 
 
 def evaluate_margin(setup: ExperimentSetup, margin: float) -> dict[str, float]:
-    """All four schemes' worst-case ratios for one uncertainty margin."""
+    """All four schemes' worst-case ratios for one uncertainty margin.
+
+    The oracle evaluations below run on the vectorized kernel when
+    enabled (batched coefficient assembly in the slave LP; see
+    :mod:`repro.kernel`); semantics changes on that path require a
+    ``CACHE_VERSION`` bump in :mod:`repro.runner.spec`.
+    """
     uncertainty = margin_box(setup.base, margin, label=f"margin={margin:g}")
     oracle = WorstCaseOracle(
         setup.network, uncertainty, dags=setup.dags, config=setup.config

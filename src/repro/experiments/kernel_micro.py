@@ -1,0 +1,127 @@
+"""Kernel micro-benchmarks: SPF and propagation, kernel vs reference.
+
+The ``"kernel-micro"`` cell kind times the two building blocks the
+vectorized kernel re-implements — batched all-destination shortest paths
+with DAG extraction, and per-destination flow propagation — against their
+pure-Python reference implementations on one topology.  Each cell reports
+per-call milliseconds for both paths plus the speedup, so ``repro bench
+kernel-spf kernel-propagate`` records how much of the routing inner loop
+the kernel actually buys on this machine (macro effects show up in the
+fig9/fig11 benchmarks' phase timings).
+
+The kernel side times the *array* computation the hot paths consume
+(:func:`~repro.kernel.spf.compute_spf_state`, the vectorized
+:func:`~repro.kernel.coefficients.link_loads`); the reference side times
+what the same callers executed before the kernel existed (per-destination
+heapq Dijkstra + DAG extraction, dict-recursion propagation).  Timings are
+measured fresh every call — the SPF memo is deliberately bypassed.
+
+Like every timing-valued payload, results are machine-dependent; cells of
+this kind are meaningful uncached (the bench CLI's default).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.demands.gravity import gravity_matrix
+from repro.ecmp.routing import ecmp_routing
+from repro.ecmp.weights import inverse_capacity_weights
+from repro.exceptions import ExperimentError
+from repro.graph.paths import dijkstra_to_target, shortest_path_dag
+from repro.kernel.coefficients import link_loads as kernel_link_loads
+from repro.kernel.spf import compute_spf_state
+from repro.runner.spec import CellKind, SweepCell, SweepSpec, freeze_params, register_cell_kind
+from repro.runner.timing import phase
+from repro.topologies.zoo import load_topology
+
+MICRO_COLUMNS = ("kernel_ms", "reference_ms", "speedup")
+
+#: Default timing iterations per cell (enough to quench timer noise on
+#: the reduced topologies without stretching the bench run).
+DEFAULT_REPEATS = 25
+
+
+def _per_call_ms(fn, repeats: int) -> float:
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return 1000.0 * (time.perf_counter() - started) / repeats
+
+
+def solve_kernel_micro_cell(cell: SweepCell) -> dict[str, float]:
+    """Time one kernel building block against its reference on one topology."""
+    params = cell.params_dict()
+    op = params["op"]
+    repeats = int(params.get("repeats", DEFAULT_REPEATS))
+    with phase("setup"):
+        network = load_topology(cell.topology)
+        weights = inverse_capacity_weights(network)
+        targets = network.nodes()
+    if op == "spf":
+        def kernel_once():
+            compute_spf_state(network, weights)
+
+        def reference_once():
+            for t in targets:
+                distances = dijkstra_to_target(network, weights, t)
+                shortest_path_dag(network, weights, t, distances)
+
+    elif op == "propagate":
+        with phase("setup"):
+            demand = gravity_matrix(network)
+            routing = ecmp_routing(network, weights)
+
+        def kernel_once():
+            kernel_link_loads(network, routing.dags, routing.ratios, demand)
+
+        def reference_once():
+            routing.link_loads_reference(demand)
+
+    else:
+        raise ExperimentError(f"unknown kernel micro op {op!r} (use 'spf' or 'propagate')")
+
+    with phase("solve"):
+        kernel_ms = _per_call_ms(kernel_once, repeats)
+    with phase("evaluate"):
+        reference_ms = _per_call_ms(reference_once, repeats)
+    return {
+        "kernel_ms": kernel_ms,
+        "reference_ms": reference_ms,
+        "speedup": reference_ms / kernel_ms if kernel_ms > 0 else float("inf"),
+    }
+
+
+KERNEL_MICRO_KIND = register_cell_kind(
+    CellKind(name="kernel-micro", solve=solve_kernel_micro_cell, columns=MICRO_COLUMNS)
+)
+
+
+def kernel_micro_spec(op: str, config=None, topologies: tuple[str, ...] = ("abilene", "geant")) -> SweepSpec:
+    """Declare one kernel micro-benchmark grid (one cell per topology)."""
+    from repro.config import ExperimentConfig
+
+    config = config or ExperimentConfig.from_environment()
+    cells = tuple(
+        SweepCell(
+            experiment=f"kernel-{op}",
+            topology=topology,
+            demand_model=config.demand_model,
+            margin=config.margins[0],
+            seed=config.seed,
+            solver=config.solver,
+            kind=KERNEL_MICRO_KIND.name,
+            params=freeze_params({"op": op, "repeats": DEFAULT_REPEATS}),
+        )
+        for topology in topologies
+    )
+    return SweepSpec(
+        experiment=f"kernel-{op}",
+        title=f"Kernel micro-benchmark: {op} (kernel vs pure-Python reference)",
+        cells=cells,
+        row_columns=("network",),
+        notes=(
+            "per-call milliseconds; reference = pure-Python implementation "
+            "the kernel replaced",
+        ),
+    )

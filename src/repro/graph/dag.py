@@ -29,6 +29,11 @@ class Dag:
 
     def __init__(self, root: Node, edges: Iterable[Edge], network: Network | None = None):
         self.root = root
+        #: The network the DAG was validated against (``None`` when built
+        #: standalone).  The vectorized kernel uses it to resolve edge
+        #: indices; kernel dispatch falls back to the pure-Python path for
+        #: network-less DAGs.
+        self.network = network
         self._succ: dict[Node, list[Node]] = {}
         self._pred: dict[Node, list[Node]] = {}
         self._edges: list[Edge] = []

@@ -69,13 +69,20 @@ def shortest_path_dag(
     network: Network,
     weights: Mapping[Edge, float],
     target: Node,
+    distances: Mapping[Node, float] | None = None,
 ) -> Dag:
     """The ECMP shortest-path DAG rooted at ``target``.
 
     Contains edge ``(u, v)`` iff it lies on some shortest path from ``u``
     to ``target``.  Only nodes that can reach the target appear.
+
+    Args:
+        distances: precomputed node-to-target distances under the same
+            ``weights`` (callers that already ran Dijkstra — DAG
+            augmentation, the kernel — thread them through instead of
+            paying a second search).
     """
-    dist = dijkstra_to_target(network, weights, target)
+    dist = distances if distances is not None else dijkstra_to_target(network, weights, target)
     edges: list[Edge] = []
     for u, v in network.edges():
         if u == target:

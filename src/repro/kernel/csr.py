@@ -1,0 +1,185 @@
+"""Indexed CSR view of a :class:`Network`: the kernel's array vocabulary.
+
+Everything downstream of this module speaks integer indices: node ``i`` is
+``index.nodes[i]``, edge ``e`` is ``(index.tail[e], index.head[e])`` with
+capacity ``index.capacity[e]``, both in the network's deterministic insertion
+order (the same order :meth:`Network.edges` iterates, so kernel-built DAGs
+list their edges exactly like the pure-Python extraction does).
+
+The index is structural — it depends only on the network, not on weights —
+and is cached per network instance in a :class:`weakref.WeakKeyDictionary`,
+so repeated kernel calls against one topology (every move the local search
+tries, every oracle evaluation in a sweep) pay the translation cost once.
+Weight-dependent artifacts (the reversed-adjacency CSR matrix ``dijkstra``
+consumes, the all-destination distance matrix) are memoized per weight
+vector on top via a small LRU keyed by the vector's bytes.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import GraphError
+from repro.graph.network import Edge, Network, Node
+from repro.runner.memo import LruMemo
+
+#: Weight-keyed artifacts kept alive per network (distance matrices are
+#: O(N^2) floats; a handful covers the local search's committed states).
+_WEIGHT_MEMO_LIMIT = 8
+
+
+@dataclass(frozen=True, eq=False)  # identity eq/hash: arrays don't compare
+class CsrIndex:
+    """Immutable array view of one network's structure.
+
+    Attributes:
+        network_ref: weak reference to the source network.  Weak on
+            purpose: the index cache is keyed by the network in a
+            :class:`weakref.WeakKeyDictionary`, and a strong back-reference
+            from the value would pin every indexed network (and its
+            memoized SPF states) for the life of the process.
+        nodes: node labels, insertion order (index -> label).
+        node_id: label -> index.
+        edges: directed edges, insertion order (index -> (tail, head)).
+        edge_id: (tail, head) -> edge index.
+        tail / head: per-edge endpoint indices, ``int64`` arrays.
+        capacity: per-edge capacities (``inf`` for the paper's
+            "arbitrarily high" links).
+        finite: boolean mask of finite-capacity edges — the only ones
+            whose utilization is ever reported.
+    """
+
+    network_ref: "weakref.ref[Network]"
+    nodes: tuple[Node, ...]
+    node_id: dict[Node, int]
+    edges: tuple[Edge, ...]
+    edge_id: dict[Edge, int]
+    tail: np.ndarray
+    head: np.ndarray
+    capacity: np.ndarray
+    finite: np.ndarray
+    _weight_memo: LruMemo = field(default_factory=lambda: LruMemo(limit=_WEIGHT_MEMO_LIMIT))
+
+    @property
+    def network(self) -> Network:
+        """The indexed network (alive as long as anyone can reach the index)."""
+        network = self.network_ref()
+        if network is None:
+            raise GraphError("the network behind this CsrIndex was garbage-collected")
+        return network
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def reversed_csr(self, weights: np.ndarray) -> sparse.csr_matrix:
+        """The reversed-adjacency CSR matrix for distance-*to*-target SPF.
+
+        Entry ``[v, u] = w(u, v)``: running ``csgraph.dijkstra`` from a
+        target over this matrix yields, for every node, the weighted
+        distance of its shortest path *toward* the target — exactly what
+        :func:`repro.graph.paths.dijkstra_to_target` computes.
+
+        The sparsity structure depends only on the network, so it is
+        precomputed once (:attr:`_csr_template`) and each weight vector
+        just permutes its data into place — no COO round-trip per call.
+        This is the hot constructor of the delta evaluator's candidate
+        scoring; it is deliberately not memoized (candidate vectors are
+        throwaway).
+        """
+        indptr, indices, order = self._csr_template()
+        return sparse.csr_matrix(
+            (weights[order], indices, indptr),
+            shape=(self.num_nodes, self.num_nodes),
+            copy=False,
+        )
+
+    def _csr_template(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(indptr, indices, edge order) of the reversed adjacency matrix."""
+
+        def build() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            order = np.lexsort((self.tail, self.head))
+            counts = np.bincount(self.head, minlength=self.num_nodes)
+            indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int32)
+            indices = self.tail[order].astype(np.int32)
+            return indptr, indices, order
+
+        return self._weight_memo.get_or_create(("csr-template",), build)
+
+    def csr_data_position(self) -> np.ndarray:
+        """Edge index -> position of its weight in the CSR data array.
+
+        Lets the delta evaluator score a candidate by poking one slot of
+        a persistent matrix's ``.data`` instead of rebuilding the matrix.
+        """
+        _indptr, _indices, order = self._csr_template()
+        position = np.empty_like(order)
+        position[order] = np.arange(order.size)
+        return position
+
+    def memo(self, key: tuple, build):
+        """Memoize a weight-dependent artifact on this index's LRU."""
+        return self._weight_memo.get_or_create(key, build)
+
+
+_INDEX_CACHE: "weakref.WeakKeyDictionary[Network, CsrIndex]" = weakref.WeakKeyDictionary()
+
+
+def csr_index(network: Network) -> CsrIndex:
+    """The (cached) array view of ``network``.
+
+    Networks are treated as immutable once algorithms run (see
+    :class:`Network`); mutating a network after its index was built would
+    desynchronize the two, like every other cached artifact in the stack.
+    """
+    index = _INDEX_CACHE.get(network)
+    if index is None:
+        nodes = tuple(network.nodes())
+        node_id = {node: i for i, node in enumerate(nodes)}
+        edges = tuple(network.edges())
+        tail = np.fromiter((node_id[u] for u, _v in edges), dtype=np.int64, count=len(edges))
+        head = np.fromiter((node_id[v] for _u, v in edges), dtype=np.int64, count=len(edges))
+        capacity = np.fromiter(
+            (network.capacity(u, v) for u, v in edges), dtype=np.float64, count=len(edges)
+        )
+        index = CsrIndex(
+            network_ref=weakref.ref(network),
+            nodes=nodes,
+            node_id=node_id,
+            edges=edges,
+            edge_id={edge: i for i, edge in enumerate(edges)},
+            tail=tail,
+            head=head,
+            capacity=capacity,
+            finite=np.isfinite(capacity),
+        )
+        _INDEX_CACHE[network] = index
+    return index
+
+
+def weight_vector(index: CsrIndex, weights: Mapping[Edge, float]) -> np.ndarray:
+    """Edge weights as a float array, validated like the reference Dijkstra.
+
+    Raises:
+        GraphError: if any network edge is missing from ``weights`` or has
+            a non-positive weight (mirrors
+            :func:`repro.graph.paths.dijkstra_to_target`).
+    """
+    vector = np.empty(index.num_edges, dtype=np.float64)
+    for i, edge in enumerate(index.edges):
+        weight = weights.get(edge)
+        if weight is None:
+            raise GraphError(f"missing weight for edge {edge!r}")
+        if not (weight > 0):
+            raise GraphError(f"weight of {edge!r} must be > 0, got {weight}")
+        vector[i] = weight
+    return vector

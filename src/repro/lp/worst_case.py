@@ -225,6 +225,10 @@ class WorstCaseOracle:
             keep_cuts: how many of the worst per-edge demand matrices to
                 return for cutting-plane use.
         """
+        # Objective-coefficient assembly rides the vectorized kernel when
+        # enabled (see repro.kernel.coefficients); any change to how
+        # coefficients are derived is a solver-semantics change — bump
+        # CACHE_VERSION in repro.runner.spec.
         coefficients = routing.load_coefficients(list(self._demand_vars))
         candidates = edges if edges is not None else self.network.finite_capacity_edges()
         per_edge: dict[Edge, float] = {}

@@ -48,7 +48,9 @@ def solve_cell(cell: SweepCell) -> dict[str, float]:
 
 
 def _solve_chunk(
-    solve: Callable[[SweepCell], dict[str, float]], cells: list[SweepCell]
+    solve: Callable[[SweepCell], dict[str, float]],
+    cells: list[SweepCell],
+    kernel_mode: bool | None = None,
 ) -> list[tuple[str, object, str | None, dict[str, float]]]:
     """Solve same-setup cells serially in one worker, stopping at a failure.
 
@@ -58,7 +60,17 @@ def _solve_chunk(
     identity and the worker-side traceback, which pickling the exception
     alone would lose; ``timings`` carries the per-phase durations the
     worker recorded (see :mod:`repro.runner.timing`).
+
+    ``kernel_mode`` is the coordinator's resolved
+    :func:`repro.kernel.kernel_enabled` value: cache keys were computed
+    under it, so the worker must solve under it too — a spawn-start
+    worker would otherwise re-derive the mode from its own (fresh)
+    process state and could cache one mode's rows under the other's keys.
     """
+    if kernel_mode is not None:
+        from repro.kernel import set_kernel_enabled
+
+        set_kernel_enabled(kernel_mode)
     outcomes: list[tuple[str, object, str | None, dict[str, float]]] = []
     for cell in cells:
         try:
@@ -282,12 +294,17 @@ def run_sweep(
             cache.put(cell, ratios)
 
     if pending and jobs > 1:
+        from repro.kernel import kernel_enabled
+
+        kernel_mode = kernel_enabled()
         chunks = _chunk_pending(pending, jobs)
         workers = min(jobs, len(chunks))
         first_error: Exception | None = None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             future_map = {
-                pool.submit(_solve_chunk, solve, [cell for _, cell in chunk]): chunk
+                pool.submit(
+                    _solve_chunk, solve, [cell for _, cell in chunk], kernel_mode
+                ): chunk
                 for chunk in chunks
             }
 

@@ -26,7 +26,15 @@ from repro.exceptions import ExperimentError
 #: evaluation semantics change in a way that invalidates stored results.
 #: ``runner-v2`` introduced cell kinds (fingerprints gained ``kind`` /
 #: ``params`` / per-kind ``columns``), orphaning every ``runner-v1`` entry.
-CACHE_VERSION = "runner-v2"
+#: ``runner-v3`` swapped the routing hot path onto the vectorized kernel
+#: (:mod:`repro.kernel`): SPF/DAG extraction, flow propagation, oracle
+#: coefficient assembly, and the local search's delta-evaluated weight
+#: step are re-implementations of solver semantics, so every
+#: ``runner-v2`` result is treated as stale.  The kernel swap-in points
+#: (``ecmp/routing.py``, ``core/dag_builder.py``, ``core/local_search.py``,
+#: ``routing/propagation.py``, ``routing/splitting.py``) carry matching
+#: reminders.
+CACHE_VERSION = "runner-v3"
 
 
 @dataclass(frozen=True)
@@ -156,8 +164,16 @@ class SweepCell:
         resolved column set all participate, so cells of different kinds
         (or a kind whose columns changed) never share an entry.
         """
+        from repro.kernel import kernel_enabled
+
         return {
             "version": CACHE_VERSION,
+            # The vectorized kernel and the pure-Python reference are
+            # pinned equivalent by the differential suite, but cached
+            # results must still never cross the mode boundary: any
+            # divergence (a bug, a future tolerance change) would
+            # otherwise serve one mode's rows as the other's.
+            "kernel": kernel_enabled(),
             "kind": self.kind,
             "params": {name: _jsonable(value) for name, value in self.params},
             "columns": list(self.cell_columns()),

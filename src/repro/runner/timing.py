@@ -12,8 +12,11 @@ tests pay nothing.
 
 Durations come from :func:`time.perf_counter` (monotonic, not subject
 to wall-clock adjustment).  Re-entering a phase accumulates; nesting
-*different* phases double-counts the inner one in the outer, so the
-instrumented phases are kept disjoint (setup / solve / evaluate).
+*different* phases counts the inner one inside the outer, so the
+pipeline phases are kept disjoint (setup / solve / evaluate).  Named
+*sub-phases* deliberately use this nesting: ``"weight_step"`` (the local
+search's neighborhood step) is recorded inside "solve", so its seconds
+are a breakdown of solve time, not additive to it.
 The recorder is per-thread and travels with the worker process, so
 parallel sweeps time each cell exactly like serial ones.
 """
@@ -29,6 +32,10 @@ T = TypeVar("T")
 
 #: The phase names the experiment kinds record, in pipeline order.
 PHASES = ("setup", "solve", "evaluate")
+
+#: Sub-phases nested inside a pipeline phase (name -> owning phase).
+#: Their durations break the owner down and must not be summed with it.
+SUB_PHASES = {"weight_step": "solve"}
 
 #: Key under which :func:`timed_solve` stores the whole solve's duration.
 TOTAL = "total"

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import copy
 import json
+import time
 from dataclasses import replace
 
 import pytest
@@ -40,10 +41,16 @@ STUB_COLUMNS = ("alpha", "beta")
 
 
 def _stub_bench_solve(cell: SweepCell) -> dict[str, float]:
-    """Deterministic fake solver recording all three phases."""
+    """Deterministic fake solver recording all three phases.
+
+    The short sleep dominates the cell's wall-clock, so percentage-based
+    baseline comparisons in these tests measure a stable quantity instead
+    of sub-millisecond interpreter noise.
+    """
     with phase("setup"):
         pass
     with phase("solve"):
+        time.sleep(0.002)
         result = {"alpha": cell.margin, "beta": cell.margin + 1.0}
     with phase("evaluate"):
         pass
@@ -89,7 +96,7 @@ class TestRegistry:
     def test_declared_benchmarks(self):
         assert set(benchmark_names()) == {
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
-            "running-example", "fig12",
+            "running-example", "fig12", "kernel-spf", "kernel-propagate",
         }
 
     def test_unknown_benchmark_rejected(self):
@@ -153,7 +160,7 @@ class TestHarness:
         assert payload["schema"] == BENCH_SCHEMA
         assert payload["benchmark"] == "stub-bench"
         assert payload["experiment"] == "stub-bench"
-        assert payload["cache_version"] == "runner-v2"
+        assert payload["cache_version"] == "runner-v3"
         assert payload["jobs"] == 1 and payload["full"] is False
         assert payload["wall_clock_seconds"] >= 0
         assert payload["cache"] == {"hits": 0, "misses": 3}
@@ -237,6 +244,24 @@ class TestBaseline:
         comparison = compare_to_baseline(cold, {"stub-bench": warm}, 50.0)
         assert comparison.status == "incomparable" and comparison.failed
         assert "re-record it uncached" in comparison.message
+
+    def test_profiled_baseline_rejected(self, stub_registered):
+        # Profiler overhead inflates the baseline's wall-clock, which
+        # would let real regressions slide under the threshold.
+        profiled = run_benchmark(stub_registered, TINY_CONFIG, profile=True).payload()
+        cold = self._payload(stub_registered)
+        comparison = compare_to_baseline(cold, {"stub-bench": profiled}, 50.0)
+        assert comparison.status == "incomparable" and comparison.failed
+        assert "re-record it unprofiled" in comparison.message
+
+    def test_profiled_current_run_rejected(self, stub_registered):
+        # Symmetric: a --profile run's inflated wall-clock must not gate
+        # against an honest baseline (spurious regression verdicts).
+        profiled = run_benchmark(stub_registered, TINY_CONFIG, profile=True).payload()
+        cold = self._payload(stub_registered)
+        comparison = compare_to_baseline(profiled, {"stub-bench": cold}, 50.0)
+        assert comparison.status == "incomparable" and comparison.failed
+        assert "re-run without --profile" in comparison.message
 
     def test_warm_current_run_gates_with_note(self, stub_registered, tmp_path):
         # CI's warm self-compare leg: a cache-served current run still
@@ -389,3 +414,25 @@ class TestBenchCli:
     def test_invalid_fail_on_regress_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "stub-bench", "--fail-on-regress", "-5"])
+
+    # The cProfile tests run last in the class: enabling a profiler
+    # de-specializes bytecode (PEP 659), which can inflate the very next
+    # timed run and flake the sub-millisecond self-compare gates above.
+    def test_profile_embeds_top_functions(self, tmp_path, capsys):
+        assert main(["bench", "stub-bench", "--profile", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "profile: top cumulative" in out
+        payload = json.loads((tmp_path / "BENCH_stub-bench.json").read_text())
+        assert payload["profiled"] is True
+        top = payload["profile"]["top_cumulative"]
+        assert 0 < len(top) <= 30
+        for record in top:
+            assert {"function", "file", "line", "ncalls",
+                    "tottime_seconds", "cumtime_seconds"} <= set(record)
+        # Cumulative ordering: the sweep driver outranks leaf helpers.
+        assert top[0]["cumtime_seconds"] >= top[-1]["cumtime_seconds"]
+
+    def test_unprofiled_payload_has_no_profile_key(self, tmp_path):
+        assert main(["bench", "stub-bench", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "BENCH_stub-bench.json").read_text())
+        assert "profile" not in payload and "profiled" not in payload

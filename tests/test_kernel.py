@@ -1,0 +1,239 @@
+"""Unit tests for the vectorized routing kernel (:mod:`repro.kernel`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import (
+    MAX_WEIGHT,
+    ecmp_utilization,
+    weight_search,
+)
+from repro.demands.gravity import gravity_matrix
+from repro.demands.matrix import DemandMatrix
+from repro.ecmp.weights import integer_scaled_weights, inverse_capacity_weights
+from repro.exceptions import GraphError, RoutingError
+from repro.graph.network import Network
+from repro.kernel import kernel_disabled, kernel_enabled, set_kernel_enabled
+from repro.kernel.csr import csr_index, weight_vector
+from repro.kernel.delta import EcmpDeltaEvaluator
+from repro.kernel.propagate import edge_level_schedule
+from repro.kernel.spf import all_targets_spf, compute_spf_state
+from repro.lp.worst_case import normalize_to_unit_optimum
+
+
+@pytest.fixture
+def abilene():
+    from repro.topologies.zoo import load_topology
+
+    return load_topology("abilene")
+
+
+class TestKernelGate:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernel_enabled()
+
+    def test_environment_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        assert not kernel_enabled()
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        set_kernel_enabled(True)
+        try:
+            assert kernel_enabled()
+        finally:
+            set_kernel_enabled(None)
+
+    def test_context_manager_restores(self):
+        before = kernel_enabled()
+        with kernel_disabled():
+            assert not kernel_enabled()
+        assert kernel_enabled() == before
+
+    def test_kernel_mode_participates_in_cache_keys(self):
+        # Kernel and reference results must never cross the cache-mode
+        # boundary, so the mode is part of every cell fingerprint.
+        from repro.config import SolverConfig
+        from repro.runner.spec import SweepCell, cell_key
+
+        cell = SweepCell(
+            experiment="x", topology="abilene", demand_model="gravity",
+            margin=1.0, seed=1, solver=SolverConfig(),
+        )
+        kernel_key = cell_key(cell)
+        assert cell.fingerprint()["kernel"] is True
+        with kernel_disabled():
+            assert cell.fingerprint()["kernel"] is False
+            assert cell_key(cell) != kernel_key
+
+
+class TestCsrIndex:
+    def test_index_is_cached_per_network(self, abilene):
+        assert csr_index(abilene) is csr_index(abilene)
+
+    def test_cache_entries_die_with_their_network(self):
+        # The index cache must not pin networks: the value holds only a
+        # weak back-reference, so dropping the network frees the entry
+        # (and its memoized SPF states) instead of leaking per cell.
+        import gc
+        import weakref
+
+        from repro.topologies.zoo import load_topology
+
+        network = load_topology("abilene")
+        index_ref = weakref.ref(csr_index(network))
+        network_ref = weakref.ref(network)
+        del network
+        gc.collect()
+        assert network_ref() is None
+        assert index_ref() is None
+
+    def test_network_property_survives_while_reachable(self, abilene):
+        index = csr_index(abilene)
+        assert index.network is abilene
+
+    def test_edge_order_matches_network(self, abilene):
+        index = csr_index(abilene)
+        assert list(index.edges) == abilene.edges()
+        for i, (u, v) in enumerate(index.edges):
+            assert index.nodes[index.tail[i]] == u
+            assert index.nodes[index.head[i]] == v
+            assert index.capacity[i] == abilene.capacity(u, v)
+
+    def test_weight_vector_validates_like_reference(self, abilene):
+        index = csr_index(abilene)
+        weights = inverse_capacity_weights(abilene)
+        with pytest.raises(GraphError, match="missing weight"):
+            weight_vector(index, {})
+        bad = dict(weights)
+        bad[abilene.edges()[0]] = 0.0
+        with pytest.raises(GraphError, match="must be > 0"):
+            weight_vector(index, bad)
+
+    def test_reversed_csr_entries(self, abilene):
+        index = csr_index(abilene)
+        vector = weight_vector(index, inverse_capacity_weights(abilene))
+        matrix = index.reversed_csr(vector).toarray()
+        for i, (u, v) in enumerate(index.edges):
+            assert matrix[index.node_id[v], index.node_id[u]] == vector[i]
+
+
+class TestSpfState:
+    def test_memoized_per_weight_vector(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        assert all_targets_spf(abilene, weights) is all_targets_spf(abilene, weights)
+        other = {e: w * 2.0 for e, w in weights.items()}
+        assert all_targets_spf(abilene, other) is not all_targets_spf(abilene, weights)
+
+    def test_compute_never_memoizes(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        assert compute_spf_state(abilene, weights) is not compute_spf_state(abilene, weights)
+
+    def test_dag_objects_round_trip(self, abilene):
+        weights = inverse_capacity_weights(abilene)
+        state = all_targets_spf(abilene, weights)
+        for t in abilene.nodes():
+            dag = state.dag(t)
+            assert dag.root == t
+            assert dag.network is abilene
+
+
+class TestEdgeLevelSchedule:
+    def test_cycle_raises(self):
+        net = Network.from_edges([("a", "b", 1.0), ("b", "a", 1.0)])
+        index = csr_index(net)
+        with pytest.raises(RoutingError, match="cycle"):
+            edge_level_schedule(index, np.array([0, 1]))
+
+    def test_levels_respect_dependencies(self):
+        net = Network.from_edges(
+            [("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 1.0)]
+        )
+        index = csr_index(net)
+        schedule = edge_level_schedule(index, np.arange(3))
+        level_of = {
+            int(e): k for k, level in enumerate(schedule) for e in level.tolist()
+        }
+        assert set(level_of) == {0, 1, 2}
+        # Every edge into a tail must fire strictly before the tail's
+        # own out-edges, so arrivals are complete when they are read.
+        for e, k in level_of.items():
+            for e2, k2 in level_of.items():
+                if index.head[e2] == index.tail[e]:
+                    assert k2 < k, (e2, e)
+
+
+class TestDeltaEvaluator:
+    def test_unreachable_demand_source_raises(self):
+        # b -> a exists but a cannot reach c; demand a -> c is an error,
+        # matching the reference propagation.
+        net = Network.from_edges(
+            [("a", "b", 1.0), ("b", "a", 1.0), ("b", "c", 1.0), ("c", "b", 1.0)]
+        )
+        net.add_edge("d", "a", 1.0)  # d reaches everything, nothing reaches d
+        weights = {e: 1.0 for e in net.edges()}
+        demand = DemandMatrix({("a", "d"): 1.0})
+        with pytest.raises(RoutingError, match="not part of the DAG"):
+            EcmpDeltaEvaluator(net, weights, [demand])
+
+    def test_empty_matrices_zero_utilization(self, abilene):
+        weights = {e: 1.0 for e in abilene.edges()}
+        evaluator = EcmpDeltaEvaluator(abilene, weights, [])
+        assert evaluator.utilization() == 0.0
+        assert evaluator.per_edge_utilization() == {}
+
+    def test_no_op_move_affects_nothing(self, abilene):
+        weights = {e: 2.0 for e in abilene.edges()}
+        demand = DemandMatrix({(abilene.nodes()[0], abilene.nodes()[1]): 1.0})
+        evaluator = EcmpDeltaEvaluator(abilene, weights, [demand])
+        edge = abilene.edges()[0]
+        candidate = evaluator.evaluate_move(edge, 2.0)
+        assert candidate.affected.size == 0
+        assert candidate.utilization == evaluator.utilization()
+
+    def test_raising_weight_of_non_dag_edge_affects_nothing(self):
+        net = Network.from_undirected([("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 1.0)])
+        weights = {e: 1.0 for e in net.edges()}
+        weights[("a", "c")] = 5.0  # not on any shortest path
+        weights[("c", "a")] = 5.0
+        demand = DemandMatrix({("a", "c"): 1.0})
+        evaluator = EcmpDeltaEvaluator(net, weights, [demand])
+        candidate = evaluator.evaluate_move(("a", "c"), 9.0)
+        assert candidate.affected.size == 0
+
+    def test_weight_mapping_round_trips(self, abilene):
+        weights = {e: float(i % 5 + 1) for i, e in enumerate(abilene.edges())}
+        evaluator = EcmpDeltaEvaluator(abilene, weights, [])
+        assert evaluator.weight_mapping() == weights
+
+
+class TestWeightSearchKernelPath:
+    def test_kernel_and_reference_agree_on_abilene(self, abilene):
+        weights = integer_scaled_weights(inverse_capacity_weights(abilene), MAX_WEIGHT)
+        base = normalize_to_unit_optimum(abilene, gravity_matrix(abilene))
+        kernel_result = weight_search(abilene, weights, [base], max_moves=4)
+        with kernel_disabled():
+            reference_result = weight_search(abilene, weights, [base], max_moves=4)
+        assert kernel_result == reference_result
+
+    def test_weight_step_phase_recorded(self, abilene):
+        from repro.runner.timing import timed_solve
+
+        weights = integer_scaled_weights(inverse_capacity_weights(abilene), MAX_WEIGHT)
+        base = normalize_to_unit_optimum(abilene, gravity_matrix(abilene))
+        _result, timings = timed_solve(weight_search, abilene, weights, [base], max_moves=2)
+        assert timings.get("weight_step", 0.0) > 0.0
+        assert timings["weight_step"] <= timings["total"] + 1e-9
+
+    def test_ecmp_utilization_dispatches_identically(self, abilene):
+        weights = {e: float(v) for e, v in integer_scaled_weights(
+            inverse_capacity_weights(abilene), MAX_WEIGHT
+        ).items()}
+        base = normalize_to_unit_optimum(abilene, gravity_matrix(abilene))
+        kernel_value = ecmp_utilization(abilene, weights, [base])
+        with kernel_disabled():
+            reference_value = ecmp_utilization(abilene, weights, [base])
+        assert kernel_value == pytest.approx(reference_value, abs=1e-9)

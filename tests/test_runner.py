@@ -102,10 +102,12 @@ class TestCellKey:
         monkeypatch.setattr("repro.runner.spec.CACHE_VERSION", "runner-v999")
         assert cell_key(make_cell()) != base
 
-    def test_version_tag_is_runner_v2(self):
-        # The kind/params generalization orphaned every runner-v1 entry.
-        assert spec_module.CACHE_VERSION == "runner-v2"
-        assert make_cell().fingerprint()["version"] == "runner-v2"
+    def test_version_tag_is_runner_v3(self):
+        # runner-v2: the kind/params generalization orphaned runner-v1;
+        # runner-v3: the vectorized kernel re-implemented solver hot-path
+        # semantics, orphaning runner-v2.
+        assert spec_module.CACHE_VERSION == "runner-v3"
+        assert make_cell().fingerprint()["version"] == "runner-v3"
 
     def test_kind_columns_change_key(self, monkeypatch):
         # A renamed/added scheme must invalidate entries that would
