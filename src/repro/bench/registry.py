@@ -19,6 +19,7 @@ from typing import Callable
 from repro.config import ExperimentConfig
 from repro.exceptions import ExperimentError
 from repro.experiments.kernel_micro import kernel_micro_spec
+from repro.experiments.lp_micro import lp_micro_spec
 from repro.experiments.registry import driver_spec, experiment_spec
 from repro.runner.spec import SweepSpec
 
@@ -104,6 +105,24 @@ register_benchmark(
         experiment="kernel-propagate",
         description="Kernel micro: vectorized flow propagation vs dict recursion",
         spec=lambda config: kernel_micro_spec("propagate", config),
+    )
+)
+
+register_benchmark(
+    Benchmark(
+        name="lp-assemble",
+        experiment="lp-assemble",
+        description="LP micro: sparse CSR assembly + compile of the slave LP",
+        spec=lambda config: lp_micro_spec("assemble", config),
+    )
+)
+
+register_benchmark(
+    Benchmark(
+        name="lp-oracle-sweep",
+        experiment="lp-oracle-sweep",
+        description="LP micro: per-edge oracle sweep, persistent instance vs one-shot",
+        spec=lambda config: lp_micro_spec("oracle-sweep", config),
     )
 )
 

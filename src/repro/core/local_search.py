@@ -272,6 +272,9 @@ def local_search_weights(
     rng_from_seed(seed if seed is not None else config.seed, "local-search")
     weights = integer_scaled_weights(inverse_capacity_weights(network), MAX_WEIGHT)
     oracle = WorstCaseOracle(network, uncertainty, dags=None, config=config)
+    from repro.lp.mcf import MinCongestionSolver
+
+    mcf_solver = MinCongestionSolver(network)
     matrices: list[DemandMatrix] = []
     history: list[float] = []
     rounds = 0
@@ -284,7 +287,9 @@ def local_search_weights(
         if result.ratio < best_ratio:
             best_ratio, best_weights = result.ratio, dict(weights)
         if result.demand is not None and result.demand:
-            matrices.append(normalize_to_unit_optimum(network, result.demand))
+            matrices.append(
+                normalize_to_unit_optimum(network, result.demand, solver=mcf_solver)
+            )
         if result.ratio <= bound:
             break
         improved = weight_search(network, weights, matrices, config)

@@ -114,13 +114,20 @@ def optimize_robust_splitting(
         name: label of the resulting routing.
     """
     oracle = WorstCaseOracle(network, uncertainty, dags=dags, config=config)
+    # One min-congestion solver for the whole run: every cut/normalize
+    # below re-solves the same factorized within-DAG LP with fresh RHS.
+    from repro.lp.mcf import MinCongestionSolver
+
+    mcf_solver = MinCongestionSolver(network, dags)
     matrices: list[DemandMatrix] = []
     for dm in (*initial_matrices, representative_matrix(uncertainty)):
         # Pairs toward destinations without a DAG cannot carry flow in
         # this configuration; drop them before normalizing.
         dm = dm.restricted_to_targets(set(dags))
         if dm:
-            matrices.append(normalize_to_unit_optimum(network, dm, dags=dags))
+            matrices.append(
+                normalize_to_unit_optimum(network, dm, dags=dags, solver=mcf_solver)
+            )
 
     history: list[tuple[float, float]] = []
     best_routing: Routing | None = None
@@ -146,7 +153,9 @@ def optimize_robust_splitting(
         for cut in oracle_result.cuts:
             if not cut:
                 continue
-            normalized = normalize_to_unit_optimum(network, cut, dags=dags)
+            normalized = normalize_to_unit_optimum(
+                network, cut, dags=dags, solver=mcf_solver
+            )
             if any(
                 normalized.close_to(existing, tolerance=1e-6) for existing in matrices
             ):
@@ -157,12 +166,10 @@ def optimize_robust_splitting(
             break  # the oracle is cycling; no progress possible
         # Warm starts for the next round: the incumbent, the LP optimum
         # for the newest adversarial matrix, and the caller's starts.
-        from repro.lp.dag_flow import dag_optimal_congestion, induced_splitting_ratios
+        from repro.lp.dag_flow import induced_splitting_ratios
 
         newest = matrices[-1]
-        induced = induced_splitting_ratios(
-            dags, dag_optimal_congestion(network, dags, newest)
-        )
+        induced = induced_splitting_ratios(dags, mcf_solver.solve(newest))
         previous_starts = [solution.routing.ratios, induced, *extra_starts]
 
     assert best_routing is not None and best_oracle is not None
@@ -178,7 +185,9 @@ def optimize_robust_splitting(
             network,
             dags,
             penalty_matrices=matrices,
-            balance_matrices=[normalize_to_unit_optimum(network, balance, dags=dags)],
+            balance_matrices=[
+                normalize_to_unit_optimum(network, balance, dags=dags, solver=mcf_solver)
+            ],
             start_ratios=best_routing.ratios,
             bound=best_objective if best_objective < float("inf") else best_oracle.ratio,
             config=config,

@@ -1,0 +1,141 @@
+"""Solver-backend registry: named LP engines behind one interface.
+
+Backends register under a name; :func:`get_backend` resolves the active
+one from the ``REPRO_LP_BACKEND`` environment variable (default
+``highs``, the direct vendored-HiGHS engine).  Because different
+engines can legitimately return different optimal *vertices* for
+degenerate LPs, the active backend name participates in sweep-cell
+fingerprints (see :meth:`repro.runner.spec.SweepCell.fingerprint`), so
+cached results never cross a backend boundary.
+
+Selection knobs:
+
+* ``REPRO_LP_BACKEND`` — ``highs`` (default), ``scipy``, ``gurobi``, or
+  any third-party name registered via :func:`register_backend`.
+* ``REPRO_LP_WARM`` — ``1`` opts reusable instances into warm-basis
+  chaining (faster, but solution vectors become solve-order dependent
+  at degenerate optima); also fingerprinted.
+* ``REPRO_LP_JOBS`` — thread count for embarrassingly parallel LP
+  sweeps (the worst-case oracle's per-edge solves); **not**
+  fingerprinted, because isolated solves make results independent of
+  how work is partitioned.
+
+Registering a third-party backend::
+
+    from repro.lp.backend import register_backend
+    from repro.lp.backend.base import SolverBackend
+
+    class MyBackend(SolverBackend):
+        name = "mine"
+        ...
+
+    register_backend(MyBackend())
+    # then: REPRO_LP_BACKEND=mine repro run fig9
+
+See ``docs/lp_backends.md`` for the full contract (statuses, duals,
+tolerances, warm-start and basis-invalidation semantics).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lp.backend.base import (  # noqa: F401  (re-exported interface)
+    ERROR,
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    BackendInstance,
+    BackendSolution,
+    BackendUnavailable,
+    LinearProgram,
+    SolverBackend,
+)
+
+#: Environment variable naming the active backend.
+BACKEND_ENV = "REPRO_LP_BACKEND"
+#: Environment variable opting reusable instances into warm-basis chaining.
+WARM_ENV = "REPRO_LP_WARM"
+#: Environment variable setting the LP sweep thread count.
+JOBS_ENV = "REPRO_LP_JOBS"
+
+DEFAULT_BACKEND = "highs"
+
+_BACKENDS: dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend) -> SolverBackend:
+    """Register ``backend`` under its ``name`` (later registrations win)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def _ensure_builtin_backends() -> None:
+    if _BACKENDS:
+        return
+    from repro.lp.backend.gurobi_backend import GurobiBackend
+    from repro.lp.backend.highs_backend import HighsBackend
+    from repro.lp.backend.scipy_backend import ScipyBackend
+
+    register_backend(HighsBackend())
+    register_backend(ScipyBackend())
+    register_backend(GurobiBackend())
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, available ones first, then sorted."""
+    _ensure_builtin_backends()
+    return tuple(
+        sorted(_BACKENDS, key=lambda name: (not _BACKENDS[name].available(), name))
+    )
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backends whose availability probe passes, sorted."""
+    _ensure_builtin_backends()
+    return tuple(
+        sorted(name for name, backend in _BACKENDS.items() if backend.available())
+    )
+
+
+def active_backend_name() -> str:
+    """The backend name the environment selects (not validated)."""
+    return os.environ.get(BACKEND_ENV, DEFAULT_BACKEND).strip() or DEFAULT_BACKEND
+
+
+def warm_starts_enabled() -> bool:
+    """Whether ``REPRO_LP_WARM`` opts reusable instances into warm bases."""
+    return os.environ.get(WARM_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def lp_jobs() -> int:
+    """The LP sweep thread count (``REPRO_LP_JOBS``, default 1)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def get_backend(name: str | None = None) -> SolverBackend:
+    """Resolve a backend by name (default: the environment's choice).
+
+    Raises:
+        BackendUnavailable: unknown name, or the backend's availability
+            probe fails (missing package, no license).
+    """
+    _ensure_builtin_backends()
+    resolved = (name or active_backend_name()).strip()
+    backend = _BACKENDS.get(resolved)
+    if backend is None:
+        raise BackendUnavailable(
+            f"unknown LP backend {resolved!r}; registered: "
+            f"{', '.join(sorted(_BACKENDS))}"
+        )
+    if not backend.available():
+        raise BackendUnavailable(
+            f"LP backend {resolved!r} is registered but not available here "
+            f"(missing package or license); available: "
+            f"{', '.join(available_backends())}"
+        )
+    return backend

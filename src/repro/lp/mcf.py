@@ -11,6 +11,19 @@ loads.  The LP therefore has one flow variable per (destination, edge).
 The same builder optionally restricts each destination's flow to a given
 DAG, which yields the *demands-aware optimum within the DAGs* — the
 normalizer used throughout the paper's evaluation (Section VI).
+
+Because the constraint matrix depends only on the *support* of the
+demand (which destinations receive traffic) and not on the volumes —
+conservation right-hand sides carry the volumes, capacity rows have a
+demand-independent RHS of 0 — a cutting-plane loop that normalizes many
+matrices over the same topology re-solves one factorized LP with fresh
+equality RHS instead of rebuilding it.  :class:`MinCongestionSolver`
+caches one compiled structure per destination set and swaps ``b_eq``;
+:func:`min_congestion` is the one-shot convenience wrapper over it.
+
+Numerics: solves inherit the active LP backend's engine defaults (HiGHS
+1e-7 feasibility; see :mod:`repro.lp.backend`); extracted flows drop
+values below 1e-12, matching the historical serial path.
 """
 
 from __future__ import annotations
@@ -19,11 +32,13 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.demands.matrix import DemandMatrix
 from repro.exceptions import InfeasibleError, RoutingError
 from repro.graph.dag import Dag
 from repro.graph.network import Edge, Network, Node
-from repro.lp.model import LinExpr, Model, Variable
+from repro.lp.model import Model, ReusableLP, Variable
 
 
 @dataclass
@@ -60,6 +75,114 @@ def _allowed_edges(
     return [e for e in network.edges() if e[0] != destination]
 
 
+class _Structure:
+    """One compiled min-congestion LP for a fixed destination set."""
+
+    def __init__(
+        self,
+        network: Network,
+        destinations: tuple[Node, ...],
+        dags: Mapping[Node, Dag] | None,
+    ):
+        model = Model("min-congestion")
+        self.alpha = model.add_var("alpha")
+        self.flow_vars: dict[Node, dict[Edge, Variable]] = {}
+        # (destination, node) behind each conservation row, in row order —
+        # the recipe for rebuilding b_eq from any demand matrix.
+        self.eq_rows: list[tuple[Node, Node]] = []
+        self.incident_nodes: dict[Node, set[Node]] = {}
+
+        for t in destinations:
+            edges = _allowed_edges(network, t, dags)
+            self.flow_vars[t] = {e: model.add_var(f"g[{t}][{e}]") for e in edges}
+            incident: dict[Node, tuple[list[Edge], list[Edge]]] = {}
+            for (u, v) in edges:
+                incident.setdefault(u, ([], []))[0].append((u, v))
+                incident.setdefault(v, ([], []))[1].append((u, v))
+            self.incident_nodes[t] = set(incident)
+            for node, (out_list, in_list) in incident.items():
+                if node == t:
+                    continue
+                terms = [(self.flow_vars[t][e], 1.0) for e in out_list]
+                terms += [(self.flow_vars[t][e], -1.0) for e in in_list]
+                model.add_eq_terms(terms, 0.0)
+                self.eq_rows.append((t, node))
+
+        # Capacity: total load on each finite-capacity edge at most alpha * c.
+        for edge in network.finite_capacity_edges():
+            capacity = network.capacity(*edge)
+            terms = [
+                (self.flow_vars[t][edge], 1.0)
+                for t in destinations
+                if edge in self.flow_vars[t]
+            ]
+            if terms:
+                terms.append((self.alpha, -capacity))
+                model.add_le_terms(terms, 0.0)
+
+        self.reusable: ReusableLP = model.compile().reusable()
+
+
+class MinCongestionSolver:
+    """Re-solves ``OPTU(D)`` over one topology by swapping equality RHS.
+
+    One compiled constraint structure is cached per destination set
+    (given the fixed ``network`` / ``dags``); solving a new demand with
+    the same support only writes fresh conservation right-hand sides
+    into the loaded model.  Results are identical to one-shot
+    :func:`min_congestion` calls — the default isolated-solve backend
+    contract guarantees solve-order independence.
+    """
+
+    def __init__(self, network: Network, dags: Mapping[Node, Dag] | None = None):
+        self.network = network
+        self.dags = dict(dags) if dags is not None else None
+        self._structures: dict[tuple[Node, ...], _Structure] = {}
+
+    def _structure_for(self, destinations: tuple[Node, ...]) -> _Structure:
+        structure = self._structures.get(destinations)
+        if structure is None:
+            structure = _Structure(self.network, destinations, self.dags)
+            self._structures[destinations] = structure
+        return structure
+
+    def solve(self, demand: DemandMatrix) -> MinCongestionResult:
+        """``OPTU(demand)``; see :func:`min_congestion` for semantics."""
+        destinations = tuple(sorted(demand.targets(), key=str))
+        structure = self._structure_for(destinations)
+
+        demands_by_dest = {t: demand.demands_to(t) for t in destinations}
+        for t in destinations:
+            allowed = structure.incident_nodes[t]
+            for source, volume in demands_by_dest[t].items():
+                if volume > 0 and source not in allowed:
+                    raise InfeasibleError(
+                        f"demand {source!r} -> {t!r} cannot be routed: source has no "
+                        f"allowed edges for this destination"
+                    )
+
+        b_eq = (
+            np.array(
+                [demands_by_dest[t].get(node, 0.0) for t, node in structure.eq_rows],
+                dtype=float,
+            )
+            if structure.eq_rows
+            else None
+        )
+        solution = structure.reusable.solve(
+            {structure.alpha.index: 1.0}, b_eq=b_eq
+        )
+
+        flows: dict[Node, dict[Edge, float]] = {}
+        for t in destinations:
+            flows[t] = {
+                e: solution.value(var)
+                for e, var in structure.flow_vars[t].items()
+                if solution.value(var) > 1e-12
+            }
+        return MinCongestionResult(alpha=float(solution.objective), flows=flows)
+
+
 def min_congestion(
     network: Network,
     demand: DemandMatrix,
@@ -72,60 +195,7 @@ def min_congestion(
             destination through the allowed edges (e.g. a node outside
             the destination's DAG).
     """
-    model = Model("min-congestion")
-    alpha = model.add_var("alpha")
-    flow_vars: dict[Node, dict[Edge, Variable]] = {}
-    destinations = sorted(demand.targets(), key=str)
-
-    for t in destinations:
-        edges = _allowed_edges(network, t, dags)
-        flow_vars[t] = {e: model.add_var(f"g[{t}][{e}]") for e in edges}
-        demands_to_t = demand.demands_to(t)
-        # Conservation at every node that could carry commodity t.
-        incident: dict[Node, tuple[list[Edge], list[Edge]]] = {}
-        for (u, v) in edges:
-            incident.setdefault(u, ([], []))[0].append((u, v))
-            incident.setdefault(v, ([], []))[1].append((u, v))
-        for source, volume in demands_to_t.items():
-            if volume > 0 and source not in incident:
-                raise InfeasibleError(
-                    f"demand {source!r} -> {t!r} cannot be routed: source has no "
-                    f"allowed edges for this destination"
-                )
-        for node, (out_list, in_list) in incident.items():
-            if node == t:
-                continue
-            balance = LinExpr()
-            for e in out_list:
-                balance.add_term(flow_vars[t][e], 1.0)
-            for e in in_list:
-                balance.add_term(flow_vars[t][e], -1.0)
-            model.add_eq(balance, demands_to_t.get(node, 0.0))
-
-    # Capacity: total load on each finite-capacity edge at most alpha * c.
-    for edge in network.finite_capacity_edges():
-        capacity = network.capacity(*edge)
-        usage = LinExpr()
-        for t in destinations:
-            var = flow_vars[t].get(edge)
-            if var is not None:
-                usage.add_term(var, 1.0)
-        if usage.terms:
-            usage.add_term(alpha, -capacity)
-            model.add_le(usage, 0.0)
-
-    model.minimize(alpha)
-    solution = model.solve()
-
-    flows: dict[Node, dict[Edge, float]] = {}
-    for t in destinations:
-        per_dest = {
-            e: solution.value(var)
-            for e, var in flow_vars[t].items()
-            if solution.value(var) > 1e-12
-        }
-        flows[t] = per_dest
-    return MinCongestionResult(alpha=float(solution.objective), flows=flows)
+    return MinCongestionSolver(network, dags).solve(demand)
 
 
 def optimal_utilization(

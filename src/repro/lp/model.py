@@ -1,4 +1,4 @@
-"""A small LP modeling layer over ``scipy.optimize.linprog`` (HiGHS).
+"""A small LP modeling layer over the pluggable solver backends.
 
 Design goals, in order:
 
@@ -7,10 +7,29 @@ Design goals, in order:
    than as raw matrix stuffing.
 2. *Cheap re-solves.* The adversarial evaluation of Section VI solves one
    LP per network edge where only the objective changes; :meth:`Model.compile`
-   freezes the constraint matrices once and :meth:`CompiledLP.solve` accepts
-   a fresh objective vector per call.
+   freezes the constraint matrices once, :meth:`CompiledLP.solve` accepts a
+   fresh objective per call, and :meth:`CompiledLP.reusable` returns a
+   persistent solver instance that keeps the factorized matrix loaded
+   across objective/RHS swaps.
 3. *Duals.* The Theorem 5 certificate and the cutting-plane machinery need
-   constraint marginals, which HiGHS exposes.
+   constraint marginals, which every backend exposes in scipy's sign
+   convention (marginals of the minimized problem).
+
+Constraints accumulate directly into flat CSR buffers (one ``float`` and
+one ``int32`` append per nonzero): no dense ``(num_vars,)`` row is ever
+materialized, and :meth:`Model.compile` is O(nnz).  The ``*_terms``
+methods accept iterables of ``(variable, coefficient)`` pairs for hot
+builders that don't need :class:`LinExpr` arithmetic.
+
+Numerical behavior: solves run at the active backend's engine defaults
+(HiGHS: 1e-7 primal/dual feasibility; Gurobi: 1e-6 — see
+:mod:`repro.lp.backend`); no tolerance options are forwarded, so two
+same-engine solves of one model are deterministic, while *cross*-backend
+objective agreement is only guaranteed to ~1e-7.  Backend statuses map
+onto the library's exceptions as ``infeasible`` →
+:class:`~repro.exceptions.InfeasibleError`, ``unbounded`` →
+:class:`~repro.exceptions.UnboundedError`, ``error`` →
+:class:`~repro.exceptions.SolverError`.
 
 Only what the library needs is implemented: continuous variables, linear
 constraints, minimize/maximize.  No integer variables (the apportionment
@@ -25,9 +44,18 @@ from typing import Iterable, Mapping
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
 from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+from repro.lp import backend as lp_backend
+from repro.lp.backend.base import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    BackendInstance,
+    BackendSolution,
+    LinearProgram,
+    dense_objective,
+)
 
 
 class Variable:
@@ -159,71 +187,124 @@ class Solution:
         return {key: float(self.values[v.index]) for key, v in variables.items()}
 
 
+def _check_solution(result: BackendSolution, maximize: bool) -> Solution:
+    """Map a backend solution onto :class:`Solution` or the library errors."""
+    if result.status == INFEASIBLE:
+        raise InfeasibleError(result.message)
+    if result.status == UNBOUNDED:
+        # For a maximization the backend solved the negated problem:
+        # unbounded below there means unbounded above for the caller.
+        raise UnboundedError(result.message)
+    if result.status != OPTIMAL:
+        raise SolverError(f"LP solve failed ({result.status}): {result.message}")
+    objective = -result.objective if maximize else result.objective
+    return Solution(float(objective), result.x, result.ineq_duals, result.eq_duals)
+
+
 class CompiledLP:
-    """Frozen constraint matrices; solve repeatedly with fresh objectives."""
+    """Frozen constraint matrices; solve repeatedly with fresh objectives.
 
-    def __init__(
-        self,
-        num_vars: int,
-        a_ub: sparse.csr_matrix | None,
-        b_ub: np.ndarray | None,
-        a_eq: sparse.csr_matrix | None,
-        b_eq: np.ndarray | None,
-        bounds: list[tuple[float, float]],
-    ):
-        self.num_vars = num_vars
-        self._a_ub = a_ub
-        self._b_ub = b_ub
-        self._a_eq = a_eq
-        self._b_eq = b_eq
-        self._bounds = bounds
+    Thin wrapper pairing an immutable
+    :class:`~repro.lp.backend.base.LinearProgram` with the active solver
+    backend.  Each :meth:`solve` is an isolated cold solve; sequences of
+    related solves should go through :meth:`reusable`.
+    """
 
-    def solve(self, objective: np.ndarray, maximize: bool = False) -> Solution:
-        """Solve with the given dense objective vector.
+    def __init__(self, program: LinearProgram):
+        self.program = program
+        self.num_vars = program.num_vars
+
+    def _objective_vector(self, objective, maximize: bool) -> np.ndarray:
+        vec = dense_objective(self.num_vars, objective)
+        if len(vec) != self.num_vars:
+            raise SolverError(
+                f"objective has {len(vec)} entries, model has {self.num_vars} variables"
+            )
+        return -vec if maximize else vec
+
+    def solve(self, objective, maximize: bool = False) -> Solution:
+        """Solve with a dense objective vector (or sparse index mapping).
 
         Raises:
-            InfeasibleError / UnboundedError / SolverError: per HiGHS status.
+            InfeasibleError / UnboundedError / SolverError: per status.
         """
-        if len(objective) != self.num_vars:
-            raise SolverError(
-                f"objective has {len(objective)} entries, model has {self.num_vars} variables"
+        result = lp_backend.get_backend().solve(
+            self.program, self._objective_vector(objective, maximize)
+        )
+        return _check_solution(result, maximize)
+
+    def reusable(self, warm: bool | None = None) -> "ReusableLP":
+        """A persistent solver instance for repeated objective/RHS swaps.
+
+        Args:
+            warm: chain the previous solve's basis (fast, but solution
+                vectors become solve-order dependent at degenerate
+                optima).  ``None`` defers to ``REPRO_LP_WARM``.
+        """
+        if warm is None:
+            warm = lp_backend.warm_starts_enabled()
+        instance = lp_backend.get_backend().instance(self.program, warm=warm)
+        return ReusableLP(self, instance)
+
+
+class ReusableLP:
+    """A backend instance bound to one compiled LP (objective/RHS swaps)."""
+
+    def __init__(self, compiled: CompiledLP, instance: BackendInstance):
+        self._compiled = compiled
+        self._instance = instance
+
+    def solve(
+        self,
+        objective,
+        maximize: bool = False,
+        b_eq: np.ndarray | None = None,
+    ) -> Solution:
+        """Re-solve with a new objective (dense vector or ``{index: coef}``).
+
+        ``b_eq`` replaces the equality right-hand sides in place, which
+        is how the min-congestion solver swaps demand matrices without
+        rebuilding conservation constraints.
+        """
+        if isinstance(objective, Mapping):
+            if maximize:
+                objective = {i: -c for i, c in objective.items()}
+            result = self._instance.solve(objective, b_eq=b_eq)
+        else:
+            result = self._instance.solve(
+                self._compiled._objective_vector(objective, maximize), b_eq=b_eq
             )
-        c = -np.asarray(objective, dtype=float) if maximize else np.asarray(objective, dtype=float)
-        result = linprog(
-            c,
-            A_ub=self._a_ub,
-            b_ub=self._b_ub,
-            A_eq=self._a_eq,
-            b_eq=self._b_eq,
-            bounds=self._bounds,
-            method="highs",
-        )
-        if result.status == 2:
-            raise InfeasibleError(result.message)
-        if result.status == 3:
-            raise UnboundedError(result.message)
-        if result.status != 0:
-            raise SolverError(f"LP solve failed (status {result.status}): {result.message}")
-        objective_value = float(result.fun)
-        if maximize:
-            objective_value = -objective_value
-        ineq_duals = (
-            np.asarray(result.ineqlin.marginals) if self._a_ub is not None else np.empty(0)
-        )
-        eq_duals = np.asarray(result.eqlin.marginals) if self._a_eq is not None else np.empty(0)
-        return Solution(objective_value, np.asarray(result.x), ineq_duals, eq_duals)
+        return _check_solution(result, maximize)
+
+    def invalidate_basis(self) -> None:
+        """Force the next solve to start from a cold basis."""
+        self._instance.invalidate_basis()
+
+
+def _as_index(var: "Variable | int") -> int:
+    return var.index if isinstance(var, Variable) else int(var)
 
 
 class Model:
-    """An LP under construction: variables, constraints, one objective."""
+    """An LP under construction: variables, constraints, one objective.
+
+    Constraint rows append directly onto flat CSR buffers; the
+    ``add_le`` / ``add_ge`` / ``add_eq`` expression forms and the
+    ``*_terms`` iterable forms share the same storage, so a model can
+    mix both freely.
+    """
 
     def __init__(self, name: str = "lp"):
         self.name = name
         self._vars: list[Variable] = []
-        # Constraints stored as parallel COO buffers; assembled on compile.
-        self._ub_rows: list[dict[int, float]] = []
+        # Incremental CSR buffers (data + column indices + row pointers).
+        self._ub_data: list[float] = []
+        self._ub_cols: list[int] = []
+        self._ub_indptr: list[int] = [0]
         self._ub_rhs: list[float] = []
-        self._eq_rows: list[dict[int, float]] = []
+        self._eq_data: list[float] = []
+        self._eq_cols: list[int] = []
+        self._eq_indptr: list[int] = [0]
         self._eq_rhs: list[float] = []
         self._objective: LinExpr = LinExpr()
         self._maximize = False
@@ -253,16 +334,62 @@ class Model:
 
     @property
     def num_constraints(self) -> int:
-        return len(self._ub_rows) + len(self._eq_rows)
+        return (len(self._ub_indptr) - 1) + (len(self._eq_indptr) - 1)
 
     # -- constraints ----------------------------------------------------------
+
+    def add_le_terms(
+        self,
+        terms: "Iterable[tuple[Variable | int, float]] | Mapping[int, float]",
+        rhs: float,
+    ) -> int:
+        """Add ``sum(coef * var) <= rhs`` from sparse terms; returns row index.
+
+        Terms append straight onto the CSR buffers — no dense row, no
+        intermediate expression.  Duplicate variables are allowed (CSR
+        canonicalization sums them on compile); zero coefficients are
+        skipped.
+        """
+        if isinstance(terms, Mapping):
+            terms = terms.items()
+        data, cols = self._ub_data, self._ub_cols
+        for var, coef in terms:
+            if coef != 0.0:
+                data.append(float(coef))
+                cols.append(_as_index(var))
+        self._ub_indptr.append(len(data))
+        self._ub_rhs.append(float(rhs))
+        return len(self._ub_rhs) - 1
+
+    def add_ge_terms(self, terms, rhs: float) -> int:
+        """Add ``sum(coef * var) >= rhs`` (stored negated as a <= row)."""
+        if isinstance(terms, Mapping):
+            terms = terms.items()
+        return self.add_le_terms(
+            ((var, -coef) for var, coef in terms), -float(rhs)
+        )
+
+    def add_eq_terms(
+        self,
+        terms: "Iterable[tuple[Variable | int, float]] | Mapping[int, float]",
+        rhs: float,
+    ) -> int:
+        """Add ``sum(coef * var) == rhs`` from sparse terms; returns row index."""
+        if isinstance(terms, Mapping):
+            terms = terms.items()
+        data, cols = self._eq_data, self._eq_cols
+        for var, coef in terms:
+            if coef != 0.0:
+                data.append(float(coef))
+                cols.append(_as_index(var))
+        self._eq_indptr.append(len(data))
+        self._eq_rhs.append(float(rhs))
+        return len(self._eq_rhs) - 1
 
     def add_le(self, expr: "LinExpr | Variable | float", rhs: "LinExpr | Variable | float") -> int:
         """Add ``expr <= rhs``; returns the inequality row index (for duals)."""
         diff = LinExpr.of(expr) - LinExpr.of(rhs)
-        self._ub_rows.append(diff.terms)
-        self._ub_rhs.append(-diff.constant)
-        return len(self._ub_rows) - 1
+        return self.add_le_terms(diff.terms, -diff.constant)
 
     def add_ge(self, expr, rhs) -> int:
         """Add ``expr >= rhs`` (stored as ``-expr <= -rhs``)."""
@@ -271,9 +398,7 @@ class Model:
     def add_eq(self, expr, rhs) -> int:
         """Add ``expr == rhs``; returns the equality row index (for duals)."""
         diff = LinExpr.of(expr) - LinExpr.of(rhs)
-        self._eq_rows.append(diff.terms)
-        self._eq_rhs.append(-diff.constant)
-        return len(self._eq_rows) - 1
+        return self.add_eq_terms(diff.terms, -diff.constant)
 
     # -- objective & solving -------------------------------------------------
 
@@ -289,30 +414,33 @@ class Model:
         """Freeze constraints into sparse matrices (objective supplied later)."""
         n = len(self._vars)
 
-        def assemble(rows: list[dict[int, float]]) -> sparse.csr_matrix | None:
-            if not rows:
+        def assemble(data, cols, indptr) -> sparse.csr_matrix | None:
+            if len(indptr) == 1:
                 return None
-            data: list[float] = []
-            row_idx: list[int] = []
-            col_idx: list[int] = []
-            for r, terms in enumerate(rows):
-                for c, coef in terms.items():
-                    row_idx.append(r)
-                    col_idx.append(c)
-                    data.append(coef)
-            return sparse.csr_matrix(
-                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            matrix = sparse.csr_matrix(
+                (
+                    np.asarray(data, dtype=float),
+                    np.asarray(cols, dtype=np.int32),
+                    np.asarray(indptr, dtype=np.int64),
+                ),
+                shape=(len(indptr) - 1, n),
             )
+            # Canonicalize: sum duplicate (row, col) entries, sort indices —
+            # the invariant LinearProgram promises its backends.
+            matrix.sum_duplicates()
+            matrix.sort_indices()
+            return matrix
 
-        bounds = [(v.lower, None if math.isinf(v.upper) else v.upper) for v in self._vars]
-        return CompiledLP(
-            n,
-            assemble(self._ub_rows),
-            np.asarray(self._ub_rhs, dtype=float) if self._ub_rhs else None,
-            assemble(self._eq_rows),
-            np.asarray(self._eq_rhs, dtype=float) if self._eq_rhs else None,
-            bounds,
+        program = LinearProgram(
+            num_vars=n,
+            a_ub=assemble(self._ub_data, self._ub_cols, self._ub_indptr),
+            b_ub=np.asarray(self._ub_rhs, dtype=float) if self._ub_rhs else None,
+            a_eq=assemble(self._eq_data, self._eq_cols, self._eq_indptr),
+            b_eq=np.asarray(self._eq_rhs, dtype=float) if self._eq_rhs else None,
+            col_lower=np.array([v.lower for v in self._vars], dtype=float),
+            col_upper=np.array([v.upper for v in self._vars], dtype=float),
         )
+        return CompiledLP(program)
 
     def objective_vector(self, expr: "LinExpr | Variable | None" = None) -> np.ndarray:
         """Dense coefficient vector for ``expr`` (default: the set objective)."""
@@ -321,6 +449,11 @@ class Model:
         for index, coef in source.terms.items():
             vec[index] = coef
         return vec
+
+    def objective_terms(self, expr: "LinExpr | Variable | None" = None) -> dict[int, float]:
+        """Sparse ``{column: coefficient}`` objective (no dense vector)."""
+        source = LinExpr.of(expr) if expr is not None else self._objective
+        return dict(source.terms)
 
     def solve(self) -> Solution:
         """Compile and solve with the objective set via minimize/maximize."""
@@ -333,5 +466,5 @@ class Model:
     def __repr__(self) -> str:
         return (
             f"Model({self.name!r}, vars={self.num_vars}, "
-            f"le={len(self._ub_rows)}, eq={len(self._eq_rows)})"
+            f"le={len(self._ub_indptr) - 1}, eq={len(self._eq_indptr) - 1})"
         )

@@ -247,8 +247,15 @@ def optimize_unconstrained_oblivious(
         if network.has_node(s) and network.has_node(t)
     ]
     oracle = WorstCaseOracle(network, uncertainty, dags=None, config=config)
+    # Shared across every cut: normalization re-solves one factorized
+    # unrestricted min-congestion LP with fresh RHS per round.
+    from repro.lp.mcf import MinCongestionSolver
+
+    mcf_solver = MinCongestionSolver(network)
     matrices: list[DemandMatrix] = [
-        normalize_to_unit_optimum(network, DemandMatrix({pair: 1.0 for pair in pairs}))
+        normalize_to_unit_optimum(
+            network, DemandMatrix({pair: 1.0 for pair in pairs}), solver=mcf_solver
+        )
     ]
     history: list[tuple[float, float]] = []
     best_ratio = float("inf")
@@ -277,7 +284,7 @@ def optimize_unconstrained_oblivious(
         # in far fewer rounds.
         added = 0
         for _u, demand in findings[:4]:
-            normalized = normalize_to_unit_optimum(network, demand)
+            normalized = normalize_to_unit_optimum(network, demand, solver=mcf_solver)
             if any(normalized.close_to(dm, tolerance=1e-9) for dm in matrices):
                 continue
             matrices.append(normalized)

@@ -27,13 +27,20 @@ We use the standard equality conservation from Applegate & Cohen [11],
 which is the form the dualization (Theorem 5) actually corresponds to.
 
 All constraint matrices are compiled once per (witness, uncertainty)
-pair; evaluating a routing only swaps the objective vector, so a sweep
-over all edges costs one HiGHS solve per edge and nothing more.
+pair and stay loaded in a persistent backend instance; evaluating a
+routing only swaps the (sparse) objective, so a sweep over all edges
+costs one re-solve of the factorized LP per edge and nothing more.
+Per-edge solves are isolated (cold basis, see
+:mod:`repro.lp.backend`) so results are independent of sweep order and
+of how ``REPRO_LP_JOBS`` partitions the sweep across threads; solves
+run at the backend engine's default tolerances (HiGHS 1e-7) and demand
+entries below 1e-10 are dropped from extracted worst-case matrices.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -43,7 +50,8 @@ from repro.demands.uncertainty import UncertaintySet
 from repro.exceptions import SolverError
 from repro.graph.dag import Dag
 from repro.graph.network import Edge, Network, Node
-from repro.lp.model import LinExpr, Model, Variable
+from repro.lp import backend as lp_backend
+from repro.lp.model import LinExpr, Model, ReusableLP, Variable
 from repro.routing.splitting import Routing
 
 
@@ -167,6 +175,9 @@ class WorstCaseOracle:
 
         self._model = model
         self._compiled = model.compile()
+        # One persistent backend instance for the serial path; parallel
+        # sweeps build one per worker thread (instances are stateful).
+        self._reusable: ReusableLP = self._compiled.reusable()
 
     # -- queries ----------------------------------------------------------
 
@@ -179,6 +190,7 @@ class WorstCaseOracle:
         self,
         edge: Edge,
         coefficients: Mapping[Pair, float],
+        reusable: ReusableLP | None = None,
     ) -> tuple[float, DemandMatrix]:
         """Maximize the utilization of ``edge`` over the uncertainty set.
 
@@ -186,6 +198,8 @@ class WorstCaseOracle:
             edge: the link under attack.
             coefficients: pair -> fraction of that pair's demand crossing
                 ``edge`` under the fixed routing (``f_st(u) * phi_t(e)``).
+            reusable: solver instance to use (default: the oracle's own;
+                parallel sweeps pass per-thread instances).
 
         Returns:
             (utilization, worst-case demand matrix).
@@ -193,15 +207,16 @@ class WorstCaseOracle:
         capacity = self.network.capacity(*edge)
         if not math.isfinite(capacity):
             return 0.0, DemandMatrix({})
-        objective = LinExpr()
+        objective: dict[int, float] = {}
         for pair, coefficient in coefficients.items():
             var = self._demand_vars.get(pair)
             if var is not None and coefficient > 0.0:
-                objective.add_term(var, coefficient / capacity)
-        if not objective.terms:
+                objective[var.index] = coefficient / capacity
+        if not objective:
             return 0.0, DemandMatrix({})
-        vector = self._model.objective_vector(objective)
-        solution = self._compiled.solve(vector, maximize=True)
+        if reusable is None:
+            reusable = self._reusable
+        solution = reusable.solve(objective, maximize=True)
         demand = DemandMatrix(
             {
                 pair: solution.value(var)
@@ -231,13 +246,15 @@ class WorstCaseOracle:
         # CACHE_VERSION in repro.runner.spec.
         coefficients = routing.load_coefficients(list(self._demand_vars))
         candidates = edges if edges is not None else self.network.finite_capacity_edges()
+        loaded = [
+            (edge, coefficients[edge])
+            for edge in candidates
+            if coefficients.get(edge)
+        ]
+        results = self._sweep(loaded)
         per_edge: dict[Edge, float] = {}
         findings: list[tuple[float, Edge, DemandMatrix]] = []
-        for edge in candidates:
-            coeffs = coefficients.get(edge)
-            if not coeffs:
-                continue
-            utilization, demand = self.worst_utilization_for_edge(edge, coeffs)
+        for (edge, _coeffs), (utilization, demand) in zip(loaded, results):
             per_edge[edge] = utilization
             if demand:
                 findings.append((utilization, edge, demand))
@@ -250,6 +267,36 @@ class WorstCaseOracle:
             return OracleResult(0.0, None, None, per_edge, [])
         best_ratio, best_edge, best_demand = findings[0]
         return OracleResult(best_ratio, best_edge, best_demand, per_edge, cuts)
+
+    def _sweep(
+        self, loaded: list[tuple[Edge, Mapping[Pair, float]]]
+    ) -> list[tuple[float, DemandMatrix]]:
+        """Solve the per-edge LPs, threading them when ``REPRO_LP_JOBS`` > 1.
+
+        Each worker thread gets its own backend instance (instances are
+        stateful); because per-edge solves are isolated, the result list
+        is identical to the serial sweep regardless of partitioning —
+        which is why the job count stays out of cell fingerprints.
+        """
+        jobs = lp_backend.lp_jobs()
+        if jobs <= 1 or len(loaded) <= 1:
+            return [
+                self.worst_utilization_for_edge(edge, coeffs)
+                for edge, coeffs in loaded
+            ]
+        import threading
+
+        local = threading.local()
+
+        def solve_one(item: tuple[Edge, Mapping[Pair, float]]):
+            instance = getattr(local, "reusable", None)
+            if instance is None:
+                instance = self._compiled.reusable()
+                local.reusable = instance
+            return self.worst_utilization_for_edge(item[0], item[1], reusable=instance)
+
+        with ThreadPoolExecutor(max_workers=min(jobs, len(loaded))) as pool:
+            return list(pool.map(solve_one, loaded))
 
     def check_membership(self, demand: DemandMatrix) -> bool:
         """True when ``demand`` lies in the uncertainty cone (direction-wise)."""
@@ -285,6 +332,7 @@ def normalize_to_unit_optimum(
     network: Network,
     demand: DemandMatrix,
     dags: Mapping[Node, Dag] | None = None,
+    solver: "object | None" = None,
 ) -> DemandMatrix:
     """Scale ``demand`` so its optimal congestion equals 1.
 
@@ -292,10 +340,18 @@ def normalize_to_unit_optimum(
     ``phi`` on ``D``, which lets the finite-set optimizers use raw loads
     as their objective.  ``dags=None`` normalizes against the
     unrestricted optimum, otherwise against the within-DAG optimum.
+
+    ``solver`` may carry a :class:`~repro.lp.mcf.MinCongestionSolver`
+    already bound to (network, dags): cutting-plane loops normalize one
+    matrix per cut, and the shared solver re-solves a factorized LP
+    instead of rebuilding it each round.
     """
     from repro.lp.mcf import min_congestion  # local: avoid cycle
 
-    optimum = min_congestion(network, demand, dags=dags).alpha
+    if solver is not None:
+        optimum = solver.solve(demand).alpha
+    else:
+        optimum = min_congestion(network, demand, dags=dags).alpha
     if optimum <= 0:
         raise SolverError("cannot normalize a demand with zero optimal congestion")
     return demand.scaled(1.0 / optimum)

@@ -34,7 +34,14 @@ from repro.exceptions import ExperimentError
 #: (``ecmp/routing.py``, ``core/dag_builder.py``, ``core/local_search.py``,
 #: ``routing/propagation.py``, ``routing/splitting.py``) carry matching
 #: reminders.
-CACHE_VERSION = "runner-v3"
+#: ``runner-v4`` introduced the pluggable LP backend layer
+#: (:mod:`repro.lp.backend`): constraint assembly, the reusable-model
+#: paths, and the direct-HiGHS engine replace the per-call ``linprog``
+#: wrapper.  The default backend is pinned bit-identical to the old
+#: ``linprog`` path on every family tested (same engine, same effective
+#: options), fingerprints gained ``lp_backend`` / ``lp_warm`` fields,
+#: and every ``runner-v3`` key is stale by construction.
+CACHE_VERSION = "runner-v4"
 
 
 @dataclass(frozen=True)
@@ -165,6 +172,7 @@ class SweepCell:
         (or a kind whose columns changed) never share an entry.
         """
         from repro.kernel import kernel_enabled
+        from repro.lp import backend as lp_backend
 
         return {
             "version": CACHE_VERSION,
@@ -174,6 +182,13 @@ class SweepCell:
             # divergence (a bug, a future tolerance change) would
             # otherwise serve one mode's rows as the other's.
             "kernel": kernel_enabled(),
+            # Same reasoning for the LP layer: different engines (and
+            # warm-basis chaining) can return different optimal vertices
+            # for degenerate LPs, which steers cutting-plane trajectories.
+            # REPRO_LP_JOBS is deliberately absent — isolated solves make
+            # results independent of sweep partitioning.
+            "lp_backend": lp_backend.active_backend_name(),
+            "lp_warm": lp_backend.warm_starts_enabled(),
             "kind": self.kind,
             "params": {name: _jsonable(value) for name, value in self.params},
             "columns": list(self.cell_columns()),

@@ -97,6 +97,7 @@ class TestRegistry:
         assert set(benchmark_names()) == {
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
             "running-example", "fig12", "kernel-spf", "kernel-propagate",
+            "lp-assemble", "lp-oracle-sweep",
         }
 
     def test_unknown_benchmark_rejected(self):
@@ -160,7 +161,7 @@ class TestHarness:
         assert payload["schema"] == BENCH_SCHEMA
         assert payload["benchmark"] == "stub-bench"
         assert payload["experiment"] == "stub-bench"
-        assert payload["cache_version"] == "runner-v3"
+        assert payload["cache_version"] == "runner-v4"
         assert payload["jobs"] == 1 and payload["full"] is False
         assert payload["wall_clock_seconds"] >= 0
         assert payload["cache"] == {"hits": 0, "misses": 3}

@@ -144,11 +144,12 @@ class TestCacheVersion:
     def test_current_version_is_pinned(self):
         # Bumps must be deliberate: runner-v2 orphaned every runner-v1
         # entry when fingerprints gained kind/params/columns; runner-v3
-        # orphaned runner-v2 when the vectorized kernel re-implemented
-        # the solver hot path.  If this assertion fails you changed cache
+        # when the vectorized kernel re-implemented the solver hot path;
+        # runner-v4 when the LP backend layer replaced the one-shot
+        # linprog path.  If this assertion fails you changed cache
         # semantics — update it *and* leave a CHANGES/ROADMAP note
         # explaining the invalidation.
-        assert spec_module.CACHE_VERSION == "runner-v3"
+        assert spec_module.CACHE_VERSION == "runner-v4"
 
     @settings(max_examples=25)
     @given(version=st.text(min_size=1, max_size=16),

@@ -1,5 +1,7 @@
 """Unit tests for the LP modeling layer."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
@@ -139,3 +141,89 @@ class TestCompiledReuse:
         family = m.add_vars(["a", "b", "c"], "f")
         assert len(family) == 3
         assert family["b"].name == "f[b]"
+
+    def test_reusable_objective_swap(self):
+        m = Model()
+        x = m.add_var("x", upper=3.0)
+        y = m.add_var("y", upper=4.0)
+        m.add_le(x + y, 5.0)
+        reusable = m.compile().reusable()
+        assert reusable.solve({x.index: 1.0}, maximize=True).objective == pytest.approx(3.0)
+        assert reusable.solve({y.index: 1.0}, maximize=True).objective == pytest.approx(4.0)
+
+    def test_reusable_rhs_swap(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_eq(x + y, 5.0)
+        reusable = m.compile().reusable()
+        assert reusable.solve({x.index: 1.0, y.index: 1.0}).objective == pytest.approx(5.0)
+        assert reusable.solve(
+            {x.index: 1.0, y.index: 1.0}, b_eq=np.array([9.0])
+        ).objective == pytest.approx(9.0)
+
+
+class TestSparseTermsApi:
+    def test_add_le_terms_matches_expression_form(self):
+        built_terms, built_expr = Model(), Model()
+        for m in (built_terms, built_expr):
+            m.add_var("x", upper=10.0)
+            m.add_var("y", upper=10.0)
+        xt, yt = built_terms._vars
+        built_terms.add_le_terms([(xt, 2.0), (yt, 1.0)], 8.0)
+        xe, ye = built_expr._vars
+        built_expr.add_le(2 * xe + ye, 8.0)
+        sol_t = built_terms.compile().solve(np.array([-1.0, 0.0]))
+        sol_e = built_expr.compile().solve(np.array([-1.0, 0.0]))
+        assert sol_t.objective == sol_e.objective
+
+    def test_terms_accept_bare_indices_and_mappings(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_ge_terms({x.index: 1.0}, 7.0)
+        m.minimize(x)
+        assert m.solve().objective == pytest.approx(7.0)
+
+    def test_duplicate_terms_are_summed(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_le_terms([(x, 1.0), (x, 1.0)], 6.0)  # 2x <= 6
+        m.maximize(x)
+        assert m.solve().objective == pytest.approx(3.0)
+
+    def test_add_eq_terms_row_index_for_duals(self):
+        m = Model()
+        x = m.add_var("x")
+        row = m.add_eq_terms([(x, 1.0)], 4.0)
+        m.minimize(x)
+        solution = m.solve()
+        assert solution.objective == pytest.approx(4.0)
+        assert solution.eq_duals[row] == pytest.approx(1.0)
+
+    def test_no_dense_row_materialized_at_fig11_scale(self):
+        """Regression: constraint construction is O(nnz), not O(n_vars).
+
+        The germany50 slave LP (the largest fig11 reduced-config cell)
+        has tens of thousands of columns; appending one sparse row must
+        not allocate a dense (num_vars,) float64 scratch array.  A dense
+        row at this scale is >= num_vars * 8 bytes in one allocation —
+        tracemalloc would see it, so its absence is the proof.
+        """
+        num_vars = 60_000  # germany50-scale column count
+        m = Model()
+        variables = [m.add_var(f"v{i}") for i in range(num_vars)]
+        dense_row_bytes = num_vars * 8
+
+        tracemalloc.start()
+        try:
+            for row in range(50):
+                terms = [(variables[(row * 97 + k) % num_vars], 1.0) for k in range(6)]
+                m.add_le_terms(terms, 1.0)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        biggest = max((stat.size for stat in snapshot.statistics("lineno")), default=0)
+        assert biggest < dense_row_bytes, (
+            f"constraint assembly allocated a {biggest}-byte block; a dense "
+            f"({num_vars},) row would be {dense_row_bytes} bytes"
+        )

@@ -102,12 +102,13 @@ class TestCellKey:
         monkeypatch.setattr("repro.runner.spec.CACHE_VERSION", "runner-v999")
         assert cell_key(make_cell()) != base
 
-    def test_version_tag_is_runner_v3(self):
+    def test_version_tag_is_runner_v4(self):
         # runner-v2: the kind/params generalization orphaned runner-v1;
-        # runner-v3: the vectorized kernel re-implemented solver hot-path
-        # semantics, orphaning runner-v2.
-        assert spec_module.CACHE_VERSION == "runner-v3"
-        assert make_cell().fingerprint()["version"] == "runner-v3"
+        # runner-v3: the vectorized kernel re-implemented the solver hot
+        # path; runner-v4: the LP backend layer replaced the one-shot
+        # linprog path and made the backend part of the fingerprint.
+        assert spec_module.CACHE_VERSION == "runner-v4"
+        assert make_cell().fingerprint()["version"] == "runner-v4"
 
     def test_kind_columns_change_key(self, monkeypatch):
         # A renamed/added scheme must invalidate entries that would
