@@ -19,8 +19,6 @@ is both the CI artifact and the baseline format
 from __future__ import annotations
 
 import cProfile
-import hashlib
-import json
 import pstats
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,14 +26,14 @@ from typing import Callable
 
 from repro.bench.registry import Benchmark, get_benchmark
 from repro.config import ExperimentConfig
-from repro.runner.cache import ResultCache
 from repro.runner.executor import SweepCell, SweepReport, run_sweep, solve_cell
-from repro.runner.spec import CACHE_VERSION, SweepSpec, cell_key
+from repro.runner.spec import CACHE_VERSION, spec_fingerprint  # noqa: F401  (re-export)
+from repro.runner.store import CellStore
 from repro.utils.jsonio import write_json_atomic
 
 #: Payload format tag; bump when the BENCH_*.json shape changes.
-#: (The optional "profile" key added by ``--profile`` is additive and
-#: does not constitute a shape change.)
+#: (The optional "profile" key added by ``--profile`` and the additive
+#: "lifecycle"/"events" keys do not constitute a shape change.)
 BENCH_SCHEMA = "repro-bench-v1"
 
 #: How many cumulative-time entries ``--profile`` embeds in the payload.
@@ -63,21 +61,6 @@ def _profile_records(profiler: cProfile.Profile, top: int) -> list[dict]:
     return records
 
 
-def spec_fingerprint(spec: SweepSpec) -> str:
-    """Stable hash of the exact workload a spec describes.
-
-    Built from the per-cell content keys (which already fold in the
-    solver config, kind params, columns, and :data:`CACHE_VERSION`) plus
-    the experiment id and declared columns — two benchmark runs are
-    comparable iff their fingerprints match.
-    """
-    payload = json.dumps(
-        [spec.experiment, list(spec.columns()), [cell_key(cell) for cell in spec.cells]],
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()[:32]
-
-
 def _cell_record(result) -> dict:
     cell = result.cell
     return {
@@ -88,6 +71,7 @@ def _cell_record(result) -> dict:
         "margin": cell.margin,
         "params": cell.fingerprint()["params"],
         "cached": result.cached,
+        "status": result.status,
         "timings": {name: round(seconds, 6) for name, seconds in result.timings.items()},
     }
 
@@ -119,6 +103,8 @@ class BenchResult:
             "jobs": report.jobs,
             "wall_clock_seconds": round(report.elapsed, 6),
             "cache": {"hits": report.cached, "misses": report.solved},
+            "lifecycle": report.lifecycle_counts(),
+            "events": [event.as_payload() for event in report.events],
             "phase_totals": {
                 name: round(seconds, 6) for name, seconds in report.phase_totals().items()
             },
@@ -162,7 +148,7 @@ def run_benchmark(
     config: ExperimentConfig | None = None,
     *,
     jobs: int = 1,
-    cache: ResultCache | None = None,
+    cache: CellStore | None = None,
     solve: Callable[[SweepCell], dict[str, float]] = solve_cell,
     profile: bool = False,
 ) -> BenchResult:

@@ -1,17 +1,25 @@
 """JSON artifact output for completed sweeps.
 
-``repro sweep EXP --out DIR`` (and the CI smoke jobs) persist two files
-per experiment:
+``repro sweep EXP --out DIR`` (and the CI smoke jobs) persist up to
+three files per experiment:
 
 * ``<experiment>.table.json`` — the assembled table (title, columns,
   rows, notes) plus run counters; enough to re-render or diff a sweep
-  without re-solving anything.
-* ``<experiment>.cells.json`` — one record per cell with its full cache
-  fingerprint, content key, result values, and whether it was served
-  from cache; the raw material for cross-run regression comparisons.
+  without re-solving anything.  Partial (sharded / claim-deferred) runs
+  cannot assemble a faithful table, so this file is skipped for them —
+  merge the campaign stores and re-run to produce it.
+* ``<experiment>.cells.json`` — one record per resolved cell with its
+  full cache fingerprint, content key, result values, and lifecycle
+  status (cache-hit / solved / stolen); the raw material for cross-run
+  regression comparisons.
+* ``<experiment>.events.json`` — the run's structured lifecycle event
+  log (see :mod:`repro.runner.timing`) plus the skipped-cell list, so a
+  campaign's scheduling behavior (claims, steals, deferrals) is
+  reconstructable per run and mergeable across runs via the epoch
+  timestamps.
 
-Both files are written atomically (temp file + ``os.replace``, the same
-pattern as :meth:`~repro.runner.cache.ResultCache.put`), so a crash
+All files are written atomically (temp file + ``os.replace``, the same
+pattern as :meth:`~repro.runner.store.DirStore.put`), so a crash
 mid-write can never leave a truncated artifact for diff tooling to
 choke on.
 """
@@ -25,25 +33,32 @@ from repro.utils.jsonio import write_json_atomic
 
 
 def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
-    """Write the table and per-cell JSON artifacts; returns the paths."""
+    """Write the sweep's JSON artifacts; returns the paths written.
+
+    Complete runs produce ``[table, cells, events]``; partial runs omit
+    the table (a partial table would silently diff as "rows vanished").
+    """
     out = Path(out_dir).expanduser()
     out.mkdir(parents=True, exist_ok=True)
-    table = report.table()
+    paths: list[Path] = []
 
-    table_payload = {
-        "experiment": report.spec.experiment,
-        "title": table.title,
-        "columns": list(table.columns),
-        "rows": [list(row) for row in table.rows],
-        "notes": list(table.notes),
-        "solved": report.solved,
-        "cached": report.cached,
-        "jobs": report.jobs,
-        "elapsed_seconds": round(report.elapsed, 3),
-    }
-    table_path = write_json_atomic(
-        out / f"{report.spec.experiment}.table.json", table_payload
-    )
+    if report.complete:
+        table = report.table()
+        table_payload = {
+            "experiment": report.spec.experiment,
+            "title": table.title,
+            "columns": list(table.columns),
+            "rows": [list(row) for row in table.rows],
+            "notes": list(table.notes),
+            "solved": report.solved,
+            "cached": report.cached,
+            "stolen": report.stolen,
+            "jobs": report.jobs,
+            "elapsed_seconds": round(report.elapsed, 3),
+        }
+        paths.append(
+            write_json_atomic(out / f"{report.spec.experiment}.table.json", table_payload)
+        )
 
     cells_payload = [
         {
@@ -51,12 +66,27 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
             "fingerprint": result.cell.fingerprint(),
             "result": result.ratios,
             "cached": result.cached,
+            "status": result.status,
             "timings": {name: round(seconds, 6) for name, seconds in result.timings.items()},
         }
         for result in report.results
     ]
-    cells_path = write_json_atomic(
-        out / f"{report.spec.experiment}.cells.json", cells_payload
+    paths.append(
+        write_json_atomic(out / f"{report.spec.experiment}.cells.json", cells_payload)
     )
 
-    return [table_path, cells_path]
+    events_payload = {
+        "experiment": report.spec.experiment,
+        "shard": str(report.shard) if report.shard is not None else None,
+        "complete": report.complete,
+        "lifecycle": report.lifecycle_counts(),
+        "skipped": [
+            {"key": skip.key, "reason": skip.reason} for skip in report.skipped
+        ],
+        "events": [event.as_payload() for event in report.events],
+    }
+    paths.append(
+        write_json_atomic(out / f"{report.spec.experiment}.events.json", events_payload)
+    )
+
+    return paths

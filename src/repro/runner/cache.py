@@ -1,99 +1,24 @@
-"""Content-addressed on-disk cache for solved sweep cells.
+"""Historical home of the result cache; the implementation now lives in
+:mod:`repro.runner.store`.
 
-Layout (all JSON, human-inspectable)::
-
-    <root>/<key[:2]>/<key>.json
-
-where ``key`` is :func:`repro.runner.spec.cell_key` — a hash over the
-cell kind and its params, the topology, demand model, margin, seed,
-optimizer, every :class:`~repro.config.SolverConfig` field, the kind's
-declared result columns, and the runner's
-:data:`~repro.runner.spec.CACHE_VERSION` tag.  Any of those changing
-yields a different key, so stale results are never returned; they are
-simply never looked up again.
-
-Each entry stores the full cell fingerprint alongside the result, so a
-(vanishingly unlikely) hash collision is detected by comparing
-fingerprints rather than silently returning the wrong row.  Entries are
-validated against the *cell's own* column set — a margin cell requires
-the four scheme ratios, a Fig. 10 budget cell only its "k NHs" column —
-so an entry missing any column its kind declares is a miss.  Writes are
-atomic (temp file + ``os.replace``) so parallel workers and concurrent
-sweeps can share one cache directory.
+``ResultCache`` predates the pluggable store layer and remains the name
+most call sites (and ``--cache-dir``) were written against; it *is* the
+canonical single-directory :class:`~repro.runner.store.DirStore`, so
+existing usage keeps working unchanged while campaigns compose stores
+through :class:`~repro.runner.store.OverlayStore` and the
+``repro cache`` CLI.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
+from repro.runner.store import (  # noqa: F401  (re-exported compat surface)
+    CACHE_DIR_ENV,
+    CellStore,
+    DirStore,
+    OverlayStore,
+    default_cache_dir,
+    open_store,
+)
 
-from repro.runner.spec import SweepCell, cell_key
-from repro.utils.jsonio import write_json_atomic
-
-#: Environment override for the default cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-
-def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
-    override = os.environ.get(CACHE_DIR_ENV, "")
-    if override:
-        return Path(override).expanduser()
-    return Path("~/.cache/repro").expanduser()
-
-
-class ResultCache:
-    """Get/put solved cell results keyed by content hash."""
-
-    def __init__(self, root: str | Path):
-        self.root = Path(root).expanduser()
-
-    def path_for(self, cell: SweepCell) -> Path:
-        key = cell_key(cell)
-        return self.root / key[:2] / f"{key}.json"
-
-    def get(self, cell: SweepCell) -> dict[str, float] | None:
-        """The cached column->value dict for ``cell``, or None on a miss.
-
-        Unreadable or mismatched entries (corrupt JSON, fingerprint
-        collision, a result missing any column the cell's kind declares)
-        are treated as misses, never as errors.
-        """
-        path = self.path_for(cell)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("fingerprint") != cell.fingerprint():
-            return None
-        result = payload.get("result")
-        if not isinstance(result, dict) or not set(result) >= set(cell.cell_columns()):
-            return None
-        try:
-            # null round-trips a non-finite value (fig9's undefined gap):
-            # the writer emits strict JSON, so NaN is stored as null.
-            return {
-                str(column): float("nan") if value is None else float(value)
-                for column, value in result.items()
-            }
-        except (TypeError, ValueError):
-            return None
-
-    def put(self, cell: SweepCell, result: dict[str, float]) -> Path:
-        """Atomically store ``result`` for ``cell``; returns the entry path."""
-        payload = {
-            "key": cell_key(cell),
-            "experiment": cell.experiment,
-            "fingerprint": cell.fingerprint(),
-            "result": result,
-        }
-        return write_json_atomic(self.path_for(cell), payload, sort_keys=True)
-
-    def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+#: The content-addressed result cache's historical name (a DirStore).
+ResultCache = DirStore

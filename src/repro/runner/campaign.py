@@ -1,0 +1,347 @@
+"""Campaign coordination: shard math, claim files, and run manifests.
+
+A *campaign* is one sweep spec executed cooperatively — across worker
+processes, across invocations (kill + resume), or across hosts that
+share (or later merge) a :class:`~repro.runner.store.CellStore`.  The
+runner stays coordination-free at the data layer (entries are
+content-addressed and atomically written); this module adds the three
+small pieces that turn a shared store into a campaign:
+
+**Sharding.**  ``repro sweep EXP --shard i/N`` deterministically
+partitions the grid by hashing each cell's content key:
+``int(cell_key, 16) % N``.  Every host computes the identical partition
+from the spec alone — no broker, no assignment state — and any change
+that alters a cell's key (solver config, CACHE_VERSION, …) reshuffles
+shards *consistently* on every host because they all hash the same
+fingerprints.
+
+**Claims.**  A claim file (``<store>/claims/<key>.claim``) marks a cell
+as being solved by some owner.  Creation hard-links a fully written
+temp file into place — atomic on POSIX, so exactly one owner wins a
+race for an unclaimed cell and no reader ever sees a partial claim.  Claims carry their owner, epoch timestamp, and TTL; a claim
+older than its TTL is *abandoned* (the owner died or was killed) and
+may be stolen by atomically replacing the file.  Two stealers can race
+on an expired claim — both replace, both solve, and the store's
+atomic writes make the duplicate harmless (identical content, last
+write wins).  That bounded duplication is the documented cost of
+brokerless work stealing.
+
+**Manifest.**  Each campaign run writes ``campaign.json`` into its
+store root: the spec fingerprint (so merged stores can be checked for
+workload identity), the shard map with per-shard completion counts,
+and this run's lifecycle counters (cache hits, solves, steals, skips).
+A resumed run's manifest showing ``solved == 0`` and
+``cache_hits == shard_cells`` is the machine-checkable statement that
+resume re-solved nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import ReproError
+from repro.runner.spec import CACHE_VERSION, SweepCell, SweepSpec, cell_key, spec_fingerprint
+from repro.utils.jsonio import write_json_atomic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor imports us)
+    from repro.runner.executor import SweepReport
+    from repro.runner.store import CellStore
+
+#: Subdirectory of a store root holding claim files.
+CLAIMS_DIR = "claims"
+
+#: Manifest filename within a store root.
+MANIFEST_NAME = "campaign.json"
+
+#: Manifest payload format tag; bump when the shape changes.
+MANIFEST_SCHEMA = "repro-campaign-v1"
+
+#: Default claim time-to-live.  Generous on purpose: a claim must outlive
+#: the slowest single chunk a worker can take (full-config robust solves
+#: run minutes per cell), and a too-short TTL causes duplicate solves,
+#: not corruption.
+DEFAULT_CLAIM_TTL = 3600.0
+
+
+class CampaignError(ReproError):
+    """Invalid campaign configuration (bad shard spec, missing store)."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice ``index`` of a campaign split ``count`` ways."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise CampaignError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise CampaignError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse ``"i/N"`` (0-based index) into a validated :class:`Shard`."""
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if match is None:
+        raise CampaignError(
+            f"invalid shard spec {text!r}; expected i/N with 0 <= i < N (e.g. 0/2)"
+        )
+    return Shard(index=int(match.group(1)), count=int(match.group(2)))
+
+
+def cell_shard(key: str, count: int) -> int:
+    """The shard a cell key lands in: ``int(key, 16) % count``.
+
+    The key is already a uniform content hash, so taking it mod N is an
+    even, deterministic, platform-independent partition — every host
+    derives the same shard for the same cell with no shared state.
+    """
+    return int(key, 16) % count
+
+
+def shard_cells(
+    cells: Iterable[SweepCell], shard: Shard
+) -> tuple[list[SweepCell], list[SweepCell]]:
+    """Split ``cells`` into (ours, foreign) under ``shard``."""
+    ours: list[SweepCell] = []
+    foreign: list[SweepCell] = []
+    for cell in cells:
+        (ours if cell_shard(cell_key(cell), shard.count) == shard.index else foreign).append(cell)
+    return ours, foreign
+
+
+def default_owner() -> str:
+    """A claim-owner id unique per invocation: host, pid, random suffix.
+
+    The random suffix distinguishes a resumed run from its own dead
+    predecessor on the same host (same hostname, possibly recycled
+    pid), so resume never mistakes an abandoned claim for its own.
+    """
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class ClaimPolicy:
+    """How one executor participates in claim coordination.
+
+    Attributes:
+        root: the store root claims live under (``<root>/claims/``).
+        owner: this executor's identity, written into every claim.
+        ttl: seconds after which this executor's claims count as
+            abandoned and become stealable.
+    """
+
+    root: Path
+    owner: str
+    ttl: float = DEFAULT_CLAIM_TTL
+
+
+def claim_path(root: str | Path, key: str) -> Path:
+    return Path(root).expanduser() / CLAIMS_DIR / f"{key}.claim"
+
+
+def read_claim(path: Path) -> dict | None:
+    """The claim payload at ``path``, or None if absent/unreadable.
+
+    An unreadable (torn, corrupt) claim is reported as None: the caller
+    treats it like an abandoned claim and may replace it, which is safe
+    because claims only gate *scheduling* — results remain protected by
+    the store's own atomic writes.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _owner_dead_on_this_host(owner: object) -> bool:
+    """True iff ``owner`` names a process of *this* host that no longer runs.
+
+    Owner ids are ``<hostname>-<pid>-<suffix>``; when the hostname is
+    ours we can do better than waiting out the TTL — probe the pid
+    (``kill -0``).  A dead pid means the claim is abandoned right now,
+    so a killed-and-resumed run on the same machine reclaims its own
+    cells immediately.  A recycled pid merely falls back to the TTL.
+    """
+    if not isinstance(owner, str):
+        return False
+    host, _, rest = owner.rpartition("-")
+    host, _, pid_text = host.rpartition("-")
+    if host != socket.gethostname() or not pid_text.isdigit() or not rest:
+        return False
+    try:
+        os.kill(int(pid_text), 0)
+    except ProcessLookupError:
+        return True
+    except (OSError, PermissionError):
+        return False
+    return False
+
+
+def _claim_expired(claim: dict, *, fallback_ttl: float, now: float) -> bool:
+    try:
+        claimed_at = float(claim["claimed_at"])
+        ttl = float(claim.get("ttl", fallback_ttl))
+    except (KeyError, TypeError, ValueError):
+        return True
+    if _owner_dead_on_this_host(claim.get("owner")):
+        return True
+    return now - claimed_at > ttl
+
+
+def try_claim(policy: ClaimPolicy, key: str) -> str:
+    """Attempt to claim ``key``; returns ``"claimed"``, ``"stolen"``, or ``"held"``.
+
+    * ``"claimed"`` — we own it now (fresh claim, or our own re-claim on
+      resume with the same owner id).
+    * ``"stolen"`` — an expired or unreadable claim by another owner was
+      atomically replaced with ours.
+    * ``"held"`` — another owner holds a live claim; skip the cell and
+      let them finish (resume picks it up from the store).
+    """
+    path = claim_path(policy.root, key)
+    payload = {
+        "key": key,
+        "owner": policy.owner,
+        "claimed_at": time.time(),
+        "ttl": policy.ttl,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Create the claim with its content already in place: write a private
+    # temp file, then hard-link it to the claim path.  link(2) fails with
+    # EEXIST when another owner won, and a racing reader can never observe
+    # a half-written claim (an O_EXCL create followed by a write exposes
+    # an empty claim that a reader would mistake for torn — and steal).
+    tmp = path.with_name(f"{path.name}.{uuid.uuid4().hex}.tmp")
+    tmp.write_text(json.dumps(payload))
+    try:
+        os.link(tmp, path)
+        return "claimed"
+    except FileExistsError:
+        pass
+    finally:
+        tmp.unlink(missing_ok=True)
+    existing = read_claim(path)
+    if existing is not None and existing.get("owner") == policy.owner:
+        return "claimed"
+    now = time.time()
+    if existing is None or _claim_expired(existing, fallback_ttl=policy.ttl, now=now):
+        write_json_atomic(path, payload)
+        return "stolen"
+    return "held"
+
+
+def release_claim(policy: ClaimPolicy, key: str) -> None:
+    """Drop our claim on ``key`` (missing files are fine — idempotent)."""
+    try:
+        os.unlink(claim_path(policy.root, key))
+    except OSError:
+        pass
+
+
+def claim_status(root: str | Path, key: str, *, ttl: float = DEFAULT_CLAIM_TTL) -> str:
+    """``"unclaimed"``, ``"active"``, or ``"expired"`` for diagnostics."""
+    path = claim_path(root, key)
+    if not path.exists():
+        return "unclaimed"
+    claim = read_claim(path)
+    if claim is None or _claim_expired(claim, fallback_ttl=ttl, now=time.time()):
+        return "expired"
+    return "active"
+
+
+def manifest_path(root: str | Path) -> Path:
+    return Path(root).expanduser() / MANIFEST_NAME
+
+
+def build_manifest(
+    spec: SweepSpec,
+    report: "SweepReport",
+    store: "CellStore",
+    *,
+    shard: Shard | None = None,
+    policy: ClaimPolicy | None = None,
+) -> dict:
+    """The ``campaign.json`` payload for one completed (or partial) run.
+
+    Completion counts come from probing the store *after* the run, so
+    they reflect global campaign progress — including cells other
+    shards/hosts stored into a shared directory — not just this run's
+    work.  The counters, by contrast, describe this run alone; the
+    resume criterion ("re-solves zero already-stored cells") reads
+    ``counters.solved == 0`` and ``counters.cache_hits == shard_cells``.
+    """
+    count = shard.count if shard is not None else 1
+    index = shard.index if shard is not None else 0
+    per_shard_cells: dict[int, int] = {i: 0 for i in range(count)}
+    per_shard_done: dict[int, int] = {i: 0 for i in range(count)}
+    for cell in spec.cells:
+        slot = cell_shard(cell_key(cell), count)
+        per_shard_cells[slot] += 1
+        if store.contains(cell):
+            per_shard_done[slot] += 1
+    skipped_reasons: dict[str, int] = {}
+    for skip in report.skipped:
+        skipped_reasons[skip.reason] = skipped_reasons.get(skip.reason, 0) + 1
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": spec.experiment,
+        "spec_fingerprint": spec_fingerprint(spec),
+        "cache_version": CACHE_VERSION,
+        "store": store.describe(),
+        "shard": {"index": index, "count": count},
+        "cells_total": len(spec.cells),
+        "shard_cells": per_shard_cells[index],
+        "shard_map": {
+            str(i): {"cells": per_shard_cells[i], "completed": per_shard_done[i]}
+            for i in range(count)
+        },
+        "completed_cells": sum(per_shard_done.values()),
+        "counters": {
+            "cache_hits": report.cached,
+            "solved": report.solved,
+            "stolen": report.stolen,
+            "skipped": skipped_reasons,
+        },
+        "lifecycle": report.lifecycle_counts(),
+        "jobs": report.jobs,
+        "elapsed_seconds": round(report.elapsed, 3),
+        "updated_at": time.time(),
+    }
+    if policy is not None:
+        manifest["owner"] = policy.owner
+        manifest["claim_ttl"] = policy.ttl
+    return manifest
+
+
+def write_manifest(manifest: dict, root: str | Path) -> Path:
+    """Atomically publish ``manifest`` as ``<root>/campaign.json``."""
+    return write_json_atomic(manifest_path(root), manifest)
+
+
+def load_manifest(root: str | Path) -> dict:
+    """Read ``<root>/campaign.json`` (raises CampaignError if unusable)."""
+    path = manifest_path(root)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CampaignError(f"cannot read campaign manifest {path}: {error}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != MANIFEST_SCHEMA:
+        raise CampaignError(f"{path} is not a {MANIFEST_SCHEMA} manifest")
+    return payload

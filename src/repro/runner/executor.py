@@ -1,43 +1,69 @@
-"""Parallel sweep execution: fan cells out, reassemble tables in order.
+"""Pull-based sweep execution: a store-aware frontier, reassembled in order.
 
-``jobs == 1`` runs cells in-process (and therefore shares one
+The executor no longer chunks the whole grid upfront and fires it at a
+pool; it maintains a *frontier* of unresolved cells and pulls work from
+it as capacity frees up:
+
+1. **Probe** — every cell is checked against the store first; hits are
+   recorded as ``cache-hit`` lifecycle events and never scheduled.
+2. **Partition** — under ``--shard i/N`` the remaining cells split into
+   ours and foreign (deterministic hash of the cell key, see
+   :mod:`repro.runner.campaign`); foreign cells are skipped, or queued
+   *after* our own when work stealing is on.
+3. **Pull** — chunks of same-setup cells are dispatched one at a time as
+   workers become idle.  Immediately before dispatch each chunk is
+   *re*-probed against the store (another host may have stored the cell
+   since step 1) and, when a claim policy is active, claimed: a live
+   foreign claim defers the cell to its owner, an expired one is stolen.
+4. **Record** — results are stored and their claims released as they
+   arrive (not at sweep end), so a killed run preserves every solved
+   cell and a resumed run re-solves none of them.
+
+``jobs == 1`` runs the same frontier in-process (sharing one
 :class:`~repro.experiments.common.ExperimentSetup` per topology exactly
-like the historical serial drivers); ``jobs > 1`` fans the unsolved
-cells over a :class:`concurrent.futures.ProcessPoolExecutor`.  Cells
-that share a setup key (same topology, demand model, seed, solver) are
-chunked onto one worker so the expensive margin-independent setup (DAG
-construction, ECMP projection, the oblivious optimization) is built
-once per chunk; chunks are split only when workers would otherwise sit
-idle, bounding setup duplication to the worker count.  A per-process
-LRU memo (see :mod:`repro.runner.memo`) additionally shares setups
-between chunks that land on the same long-lived worker.
+like the historical serial drivers); ``jobs > 1`` fans chunks over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Cells that share a
+setup key are chunked onto one worker so the expensive
+margin-independent setup (DAG construction, ECMP projection, the
+oblivious optimization) is built once per chunk; a per-process LRU memo
+(see :mod:`repro.runner.memo`) additionally shares setups between
+chunks that land on the same long-lived worker.
 
 Cells are solved by their registered :class:`~repro.runner.spec.CellKind`
 — :func:`solve_cell` just dispatches — so any experiment that
-decomposes into independent units (the margin grids, Fig. 9's
-per-margin local search, Fig. 10's budget cells, Fig. 11's per-topology
-stretch) rides the same executor.
+decomposes into independent units rides the same executor.
 
 Results are reassembled strictly in ``spec.cells`` order regardless of
 completion order, so a parallel sweep emits a table row-for-row
-identical to the serial one.  Consecutive cells with the same row
-identity merge into a single row (Fig. 10's base + budget cells), and
-columns come from the spec's declaration, not any global scheme list.
+identical to the serial one.  Sharded runs resolve only part of the
+grid: unresolved cells are reported as *skipped* (with a reason), the
+report's ``complete`` flag turns false, and table assembly refuses to
+emit a partial table — merge the shard stores (``repro cache merge``)
+and re-run against the merged store to assemble the full table from
+hits alone.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exceptions import ExperimentError
-from repro.runner.cache import ResultCache
+from repro.runner.campaign import (
+    ClaimPolicy,
+    Shard,
+    cell_shard,
+    release_claim,
+    try_claim,
+)
 from repro.runner.memo import clear_all_memos
 from repro.runner.spec import SweepCell, SweepSpec, cell_key, cell_kind
-from repro.runner.timing import timed_solve
+from repro.runner.store import CellStore
+from repro.runner.timing import CellEvent, EventLog, timed_solve
 from repro.topologies.zoo import topology_info
 from repro.utils.tables import Table
 
@@ -109,10 +135,10 @@ def _chunk_pending(
 ) -> list[list[tuple[int, SweepCell]]]:
     """Group unsolved cells by setup key, splitting groups to fill workers.
 
-    One chunk = one worker task: its cells share a setup, so the expensive
-    margin-independent preparation runs once per chunk.  Groups are split
-    in two (largest first, at margin boundaries where possible) only while
-    workers would otherwise be idle.
+    One chunk = one pullable unit of work: its cells share a setup, so
+    the expensive margin-independent preparation runs once per chunk.
+    Groups are split in two (largest first, at margin boundaries where
+    possible) only while workers would otherwise be idle.
     """
     groups: dict[tuple, list[tuple[int, SweepCell]]] = {}
     for index, cell in pending:
@@ -146,11 +172,13 @@ def _row_value(cell: SweepCell, column: str, *, display: bool):
 
 @dataclass(frozen=True)
 class CellResult:
-    """One solved (or cache-served) cell.
+    """One solved (or store-served) cell.
 
     ``timings`` maps phase names ("setup"/"solve"/"evaluate" plus
-    "total") to seconds for freshly solved cells; cache-served cells
-    carry an empty dict — no work was timed.
+    "total") to seconds for freshly solved cells; store-served cells
+    carry an empty dict — no work was timed.  ``stolen`` marks results
+    this run produced by taking over an abandoned claim or a foreign
+    shard's cell under work stealing.
     """
 
     cell: SweepCell
@@ -158,6 +186,28 @@ class CellResult:
     ratios: dict[str, float]
     cached: bool
     timings: dict[str, float] = field(default_factory=dict)
+    stolen: bool = False
+
+    @property
+    def status(self) -> str:
+        """``"cache-hit"``, ``"stolen"``, or ``"solved"``."""
+        if self.cached:
+            return "cache-hit"
+        return "stolen" if self.stolen else "solved"
+
+
+@dataclass(frozen=True)
+class SkippedCell:
+    """One cell this run deliberately did not resolve, and why.
+
+    ``reason`` is ``"foreign-shard"`` (belongs to another shard, work
+    stealing off) or ``"claimed-elsewhere"`` (another owner holds a live
+    claim; resume picks the result up from the store once they finish).
+    """
+
+    cell: SweepCell
+    key: str
+    reason: str
 
 
 @dataclass
@@ -168,6 +218,9 @@ class SweepReport:
     results: list[CellResult]
     elapsed: float = 0.0
     jobs: int = 1
+    skipped: list[SkippedCell] = field(default_factory=list)
+    events: list[CellEvent] = field(default_factory=list)
+    shard: Shard | None = None
 
     @property
     def solved(self) -> int:
@@ -176,6 +229,22 @@ class SweepReport:
     @property
     def cached(self) -> int:
         return sum(1 for result in self.results if result.cached)
+
+    @property
+    def stolen(self) -> int:
+        return sum(1 for result in self.results if result.stolen)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell of the spec was resolved by this run."""
+        return not self.skipped
+
+    def lifecycle_counts(self) -> dict[str, int]:
+        """Event-name -> occurrence totals for this run's lifecycle log."""
+        totals: dict[str, int] = {}
+        for event in self.events:
+            totals[event.event] = totals.get(event.event, 0) + 1
+        return totals
 
     def phase_totals(self) -> dict[str, float]:
         """Per-phase seconds summed over every freshly solved cell.
@@ -195,7 +264,19 @@ class SweepReport:
         Consecutive cells that share a row identity (all ``row_columns``
         values equal) merge their result dicts into one row; the row's
         values are then picked in the spec's declared column order.
+
+        A partial (sharded / claim-deferred) report cannot assemble a
+        faithful table and refuses to: merge the shard stores and re-run
+        against the merged store to serve every cell from hits.
         """
+        if self.skipped:
+            reasons = sorted({skip.reason for skip in self.skipped})
+            raise ExperimentError(
+                f"sweep {self.spec.experiment!r} is partial: {len(self.skipped)} of "
+                f"{len(self.spec.cells)} cells unresolved ({', '.join(reasons)}); "
+                f"merge the campaign stores (repro cache merge) and re-run against "
+                f"the merged store to assemble the full table"
+            )
         spec = self.spec
         value_columns = spec.resolved_value_columns()
         table = Table(spec.title, list(spec.columns()))
@@ -237,119 +318,251 @@ class SweepReport:
         return table
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{len(self.results)} cells: {self.solved} solved, "
             f"{self.cached} from cache (jobs={self.jobs}, {self.elapsed:.1f}s)"
         )
+        if self.stolen:
+            base += f" [{self.stolen} stolen]"
+        if self.skipped:
+            reasons: dict[str, int] = {}
+            for skip in self.skipped:
+                reasons[skip.reason] = reasons.get(skip.reason, 0) + 1
+            detail = ", ".join(f"{count} {reason}" for reason, count in sorted(reasons.items()))
+            base += f"; {len(self.skipped)} skipped ({detail})"
+        if self.shard is not None:
+            base = f"shard {self.shard}: {base}"
+        return base
 
 
 def run_sweep(
     spec: SweepSpec,
     *,
     jobs: int = 1,
-    cache: ResultCache | None = None,
+    cache: CellStore | None = None,
     solve: Callable[[SweepCell], dict[str, float]] = solve_cell,
+    shard: Shard | None = None,
+    claims: ClaimPolicy | None = None,
+    steal: bool = False,
 ) -> SweepReport:
-    """Execute a sweep spec and reassemble its table deterministically.
+    """Execute a sweep spec through the pull-based frontier.
 
     Args:
         spec: the declared grid.
         jobs: worker processes; 1 solves in-process, serially.
-        cache: optional result cache consulted before solving and updated
-            after; ``None`` disables caching entirely.
+        cache: result store consulted before solving and updated after;
+            ``None`` disables caching entirely.
         solve: cell solver (injectable for tests).
+        shard: restrict solving to one deterministic slice of the grid;
+            cells outside it are skipped (``"foreign-shard"``) unless
+            ``steal`` is set.  Requires ``cache``: a sharded run only
+            makes sense against a store that outlives it.
+        claims: participate in claim-file coordination rooted at the
+            policy's store directory — live foreign claims defer cells,
+            expired ones are stolen.
+        steal: after this shard's own cells, also pull unstored foreign
+            cells (claim-guarded).  Requires ``claims`` so two stealing
+            hosts don't duplicate whole shards.
 
     Returns:
-        A :class:`SweepReport` whose ``results`` align 1:1 with
-        ``spec.cells``.
+        A :class:`SweepReport` whose ``results`` hold every resolved
+        cell in ``spec.cells`` order; unresolved cells (sharded or
+        deferred) appear in ``skipped`` and flip ``complete`` to False.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if steal and claims is None:
+        raise ValueError("work stealing requires a claim policy (claims=...)")
+    if (shard is not None or claims is not None) and cache is None:
+        raise ValueError("sharded or claim-coordinated sweeps need a result store (cache=...)")
     # Each sweep starts from cold per-process memos so its cost never
     # depends on what an earlier in-process sweep happened to solve
     # (forked workers would otherwise inherit a warm parent memo too).
     clear_all_memos()
     started = time.time()
-    ratios_by_index: dict[int, dict[str, float]] = {}
-    timings_by_index: dict[int, dict[str, float]] = {}
-    cached_indexes: set[int] = set()
+    events = EventLog()
+    keys = [cell_key(cell) for cell in spec.cells]
+    resolved: dict[int, CellResult] = {}
+    stolen_indexes: set[int] = set()
+    claimed_indexes: set[int] = set()
+    deferred: list[tuple[int, SweepCell]] = []
 
-    pending: list[tuple[int, SweepCell]] = []
-    for index, cell in enumerate(spec.cells):
+    def probe(index: int, cell: SweepCell) -> bool:
+        """Serve the cell from the store if present; record the hit."""
         hit = cache.get(cell) if cache is not None else None
-        if hit is not None:
-            ratios_by_index[index] = hit
-            cached_indexes.add(index)
-        else:
-            pending.append((index, cell))
+        if hit is None:
+            return False
+        events.emit(keys[index], "cache-hit")
+        resolved[index] = CellResult(cell=cell, key=keys[index], ratios=hit, cached=True)
+        return True
 
-    # Results are cached as they arrive, not after the sweep completes, so
+    pending = [
+        (index, cell) for index, cell in enumerate(spec.cells) if not probe(index, cell)
+    ]
+
+    mine, foreign = pending, []
+    if shard is not None:
+        mine, foreign = [], []
+        for index, cell in pending:
+            slot = cell_shard(keys[index], shard.count)
+            (mine if slot == shard.index else foreign).append((index, cell))
+    foreign_indexes = {index for index, _ in foreign}
+
+    skipped: list[SkippedCell] = []
+    if shard is not None and not steal:
+        for index, cell in foreign:
+            events.emit(
+                keys[index], "foreign",
+                detail=f"shard {cell_shard(keys[index], shard.count)}/{shard.count}",
+            )
+            skipped.append(SkippedCell(cell=cell, key=keys[index], reason="foreign-shard"))
+    # Own cells first; foreign cells join the tail of the frontier only
+    # under work stealing, so stealing never delays our own shard.
+    worklist = mine + (foreign if steal else [])
+
+    def release(index: int) -> None:
+        if claims is not None and index in claimed_indexes:
+            release_claim(claims, keys[index])
+            claimed_indexes.discard(index)
+
+    def prepare(batch: list[tuple[int, SweepCell]]) -> list[tuple[int, SweepCell]]:
+        """Frontier gate: re-probe the store, then claim, just before dispatch."""
+        runnable: list[tuple[int, SweepCell]] = []
+        for index, cell in batch:
+            if index in resolved:
+                continue
+            if probe(index, cell):
+                continue  # another host stored it since the first probe
+            if claims is not None:
+                outcome = try_claim(claims, keys[index])
+                if outcome == "held":
+                    events.emit(keys[index], "deferred", detail="live claim by another owner")
+                    deferred.append((index, cell))
+                    continue
+                claimed_indexes.add(index)
+                # Probe-then-claim is not atomic: another owner can store
+                # the result and release its claim between our miss above
+                # and this acquisition.  An owner always stores before
+                # releasing, so one more probe now that we hold the claim
+                # closes that duplicate-solve window (only claim-*expiry*
+                # races can still duplicate work, which is the documented
+                # cost).
+                if probe(index, cell):
+                    release(index)
+                    continue
+                if outcome == "stolen" or index in foreign_indexes:
+                    stolen_indexes.add(index)
+                detail = "expired claim taken over" if outcome == "stolen" else ""
+                if index in foreign_indexes:
+                    detail = (detail + "; " if detail else "") + "foreign-shard steal"
+                events.emit(keys[index], "stolen" if index in stolen_indexes else "claimed",
+                            detail=detail)
+            runnable.append((index, cell))
+        return runnable
+
+    # Results are stored as they arrive, not after the sweep completes, so
     # an interrupted or partially failed run preserves every solved cell.
     def record(
         index: int, cell: SweepCell, ratios: dict[str, float], timings: dict[str, float]
     ) -> None:
-        ratios_by_index[index] = ratios
-        timings_by_index[index] = timings
+        resolved[index] = CellResult(
+            cell=cell,
+            key=keys[index],
+            ratios=ratios,
+            cached=False,
+            timings=timings,
+            stolen=index in stolen_indexes,
+        )
         if cache is not None:
             cache.put(cell, ratios)
+        events.emit(keys[index], "solved")
+        release(index)
 
-    if pending and jobs > 1:
+    first_error: Exception | None = None
+    if worklist and jobs > 1:
         from repro.kernel import kernel_enabled
 
         kernel_mode = kernel_enabled()
-        chunks = _chunk_pending(pending, jobs)
-        workers = min(jobs, len(chunks))
-        first_error: Exception | None = None
+        queue = deque(_chunk_pending(worklist, jobs))
+        workers = min(jobs, max(1, len(queue)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            future_map = {
-                pool.submit(
-                    _solve_chunk, solve, [cell for _, cell in chunk], kernel_mode
-                ): chunk
-                for chunk in chunks
-            }
+            in_flight: dict[Future, list[tuple[int, SweepCell]]] = {}
 
-            def fail_fast(error: Exception) -> None:
-                nonlocal first_error
-                if first_error is None:
-                    first_error = error
-                    for other in future_map:
-                        other.cancel()
+            def pull() -> None:
+                """Dispatch frontier chunks while workers are idle."""
+                while queue and len(in_flight) < workers and first_error is None:
+                    runnable = prepare(queue.popleft())
+                    if not runnable:
+                        continue
+                    future = pool.submit(
+                        _solve_chunk, solve, [cell for _, cell in runnable], kernel_mode
+                    )
+                    in_flight[future] = runnable
 
-            # as_completed (not submission order) so every finished chunk is
-            # cached even when another chunk fails while it was in flight.
-            for future in as_completed(future_map):
-                chunk = future_map[future]
-                try:
-                    outcomes = future.result()
-                except CancelledError:
-                    continue
-                except Exception as error:
-                    fail_fast(error)
-                    continue
-                for (index, cell), (status, value, detail, timings) in zip(chunk, outcomes):
-                    if status == "ok":
-                        record(index, cell, value, timings)
-                    else:
-                        # Re-attach the worker-side context lost to pickling:
-                        # `raise first_error` then chains the original
-                        # traceback and failing-cell identity as its cause.
-                        value.__cause__ = RuntimeError(detail)
-                        fail_fast(value)
-            if first_error is not None:
-                raise first_error
-    else:
-        for index, cell in pending:
-            ratios, timings = timed_solve(solve, cell)
+            pull()
+            while in_flight:
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = in_flight.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except Exception as error:
+                        for index, _ in chunk:
+                            events.emit(keys[index], "failed", detail="worker died")
+                            release(index)
+                        if first_error is None:
+                            first_error = error
+                        continue
+                    for (index, cell), (status, value, detail, timings) in zip(chunk, outcomes):
+                        if status == "ok":
+                            record(index, cell, value, timings)
+                        else:
+                            events.emit(keys[index], "failed")
+                            release(index)
+                            # Re-attach the worker-side context lost to pickling:
+                            # `raise first_error` then chains the original
+                            # traceback and failing-cell identity as its cause.
+                            value.__cause__ = RuntimeError(detail)
+                            if first_error is None:
+                                first_error = value
+                    # A failed chunk stops mid-way; free the claims of its
+                    # unreached cells so another owner can pick them up now
+                    # instead of waiting out the TTL.
+                    for index, _ in chunk[len(outcomes):]:
+                        release(index)
+                # Keep pulling: chunks already in flight when an error hits
+                # still complete and cache their results; we just stop
+                # feeding the frontier.
+                pull()
+        if first_error is not None:
+            raise first_error
+    elif worklist:
+        for index, cell in worklist:
+            if not prepare([(index, cell)]):
+                continue
+            try:
+                ratios, timings = timed_solve(solve, cell)
+            except Exception:
+                events.emit(keys[index], "failed")
+                release(index)
+                raise
             record(index, cell, ratios, timings)
 
-    results = [
-        CellResult(
-            cell=cell,
-            key=cell_key(cell),
-            ratios=ratios_by_index[index],
-            cached=index in cached_indexes,
-            timings=timings_by_index.get(index, {}),
-        )
-        for index, cell in enumerate(spec.cells)
-    ]
-    return SweepReport(spec=spec, results=results, elapsed=time.time() - started, jobs=jobs)
+    # Cells deferred to a live claim may have been stored by their owner
+    # while we worked; pick those up as hits, report the rest as skipped.
+    for index, cell in deferred:
+        if index in resolved or probe(index, cell):
+            continue
+        skipped.append(SkippedCell(cell=cell, key=keys[index], reason="claimed-elsewhere"))
+
+    results = [resolved[index] for index in sorted(resolved)]
+    skipped.sort(key=lambda skip: keys.index(skip.key))
+    return SweepReport(
+        spec=spec,
+        results=results,
+        elapsed=time.time() - started,
+        jobs=jobs,
+        skipped=skipped,
+        events=events.events,
+        shard=shard,
+    )

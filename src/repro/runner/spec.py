@@ -222,6 +222,18 @@ class SweepCell:
         return (self.topology, self.demand_model, self.seed, self.solver, self.optimizer)
 
 
+def fingerprint_key(fingerprint: Mapping[str, Any]) -> str:
+    """The content key a fingerprint dict hashes to (hex sha256 prefix).
+
+    This is the sole key-derivation primitive: an entry on disk stores
+    its fingerprint, so store verification can re-derive the key from
+    the stored fingerprint and compare it to the filename — a mismatch
+    means the entry was corrupted or renamed.
+    """
+    payload = json.dumps(dict(fingerprint), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
 def cell_key(cell: SweepCell) -> str:
     """Stable content hash of a cell (hex sha256 prefix).
 
@@ -231,8 +243,7 @@ def cell_key(cell: SweepCell) -> str:
     model, margin, seed, optimizer, any :class:`SolverConfig` field, or
     :data:`CACHE_VERSION` produces a new key and therefore a cache miss.
     """
-    payload = json.dumps(cell.fingerprint(), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+    return fingerprint_key(cell.fingerprint())
 
 
 @dataclass(frozen=True)
@@ -288,6 +299,22 @@ class SweepSpec:
         """A copy of the spec with every cell's solver config replaced."""
         cells = tuple(replace(cell, solver=solver) for cell in self.cells)
         return replace(self, cells=cells)
+
+
+def spec_fingerprint(spec: SweepSpec) -> str:
+    """Stable hash of the exact workload a spec describes.
+
+    Built from the per-cell content keys (which already fold in the
+    solver config, kind params, columns, and :data:`CACHE_VERSION`) plus
+    the experiment id and declared columns — two runs (benchmark
+    comparisons, campaign manifests) are over the same workload iff
+    their fingerprints match.
+    """
+    payload = json.dumps(
+        [spec.experiment, list(spec.columns()), [cell_key(cell) for cell in spec.cells]],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
 def grid_cells(

@@ -1,4 +1,4 @@
-"""Per-cell phase timing for sweep solves (monotonic clocks).
+"""Per-cell phase timing and lifecycle events for sweep solves.
 
 The benchmark harness wants to know not just how long a cell took but
 *where* the time went: building the margin-independent setup, running
@@ -9,6 +9,14 @@ sink around each solve (:func:`timed_solve`), and instrumented code
 wraps its hot sections in :func:`phase`.  With no sink installed —
 every non-benchmark caller — :func:`phase` is a no-op, so drivers and
 tests pay nothing.
+
+Campaign runs additionally want to know *what happened* to each cell —
+served from the store, claimed, stolen from an abandoned claim, solved,
+deferred to another owner.  :class:`EventLog` records those transitions
+as structured :class:`CellEvent` records (cell key, event name, epoch
+timestamp, optional detail); the executor emits them from the
+coordinating process and threads the log into sweep reports, JSON
+artifacts, and ``BENCH_*.json`` payloads.
 
 Durations come from :func:`time.perf_counter` (monotonic, not subject
 to wall-clock adjustment).  Re-entering a phase accumulates; nesting
@@ -26,9 +34,63 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
 T = TypeVar("T")
+
+#: The lifecycle transitions the executor emits, in rough order of
+#: occurrence.  "cache-hit": served from the store without solving;
+#: "claimed"/"stolen": this run took ownership (fresh claim / expired
+#: claim takeover or foreign-shard steal); "solved": result produced and
+#: stored; "deferred": live claim held elsewhere, left for its owner;
+#: "foreign": belongs to another shard and stealing is off; "failed":
+#: the solve raised.
+LIFECYCLE_EVENTS = (
+    "cache-hit", "claimed", "stolen", "solved", "deferred", "foreign", "failed",
+)
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One structured lifecycle transition for one cell.
+
+    ``at`` is epoch seconds (``time.time``), not a monotonic clock:
+    events from different hosts sharing a store must be mergeable onto
+    one timeline, which monotonic clocks (arbitrary per-boot origin)
+    cannot provide.  Sub-second ordering across hosts is therefore
+    best-effort — fine for diagnostics, and correctness never depends
+    on event order.
+    """
+
+    key: str
+    event: str
+    at: float
+    detail: str = ""
+
+    def as_payload(self) -> dict:
+        record = {"key": self.key, "event": self.event, "at": round(self.at, 3)}
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+@dataclass
+class EventLog:
+    """An append-only list of :class:`CellEvent`s for one sweep run."""
+
+    events: list[CellEvent] = field(default_factory=list)
+
+    def emit(self, key: str, event: str, detail: str = "") -> CellEvent:
+        record = CellEvent(key=key, event=event, at=time.time(), detail=detail)
+        self.events.append(record)
+        return record
+
+    def counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for record in self.events:
+            totals[record.event] = totals.get(record.event, 0) + 1
+        return totals
 
 #: The phase names the experiment kinds record, in pipeline order.
 PHASES = ("setup", "solve", "evaluate")

@@ -1,0 +1,313 @@
+"""Tests for campaign coordination: shard math, claim files, manifests,
+and the executor's sharded / claim-aware / stealing behavior."""
+
+import json
+import time
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.exceptions import ExperimentError
+from repro.experiments.common import SCHEME_COLUMNS
+from repro.runner.campaign import (
+    CampaignError,
+    ClaimPolicy,
+    Shard,
+    build_manifest,
+    cell_shard,
+    claim_path,
+    claim_status,
+    default_owner,
+    load_manifest,
+    parse_shard,
+    read_claim,
+    release_claim,
+    shard_cells,
+    try_claim,
+    write_manifest,
+)
+from repro.runner.executor import run_sweep
+from repro.runner.spec import SweepCell, SweepSpec, cell_key, spec_fingerprint
+from repro.runner.store import DirStore
+
+TINY_SOLVER = SolverConfig(
+    max_adversarial_rounds=2,
+    max_inner_iterations=10,
+    smoothing_temperatures=(8.0, 64.0),
+)
+
+
+def make_cell(margin=1.0, topology="abilene", **overrides):
+    return SweepCell(
+        experiment=overrides.pop("experiment", "test"),
+        topology=topology,
+        demand_model=overrides.pop("demand_model", "gravity"),
+        margin=margin,
+        seed=overrides.pop("seed", 7),
+        solver=TINY_SOLVER,
+        **overrides,
+    )
+
+
+def make_spec(margins=(1.0, 2.0, 3.0, 4.0), **cell_kwargs):
+    cells = tuple(make_cell(margin=m, **cell_kwargs) for m in margins)
+    return SweepSpec(experiment="test", title="test sweep", cells=cells)
+
+
+def _stub_solve(cell):
+    return {scheme: cell.margin + i for i, scheme in enumerate(SCHEME_COLUMNS)}
+
+
+def policy_for(tmp_path, owner="tester", ttl=3600.0):
+    return ClaimPolicy(root=tmp_path, owner=owner, ttl=ttl)
+
+
+class TestShardMath:
+    def test_parse_shard(self):
+        shard = parse_shard("1/4")
+        assert (shard.index, shard.count) == (1, 4)
+        assert str(shard) == "1/4"
+
+    @pytest.mark.parametrize("bad", ["", "2", "2/2", "3/2", "-1/2", "a/b", "1/0"])
+    def test_invalid_shard_specs_rejected(self, bad):
+        with pytest.raises(CampaignError):
+            parse_shard(bad)
+
+    def test_cell_shard_is_deterministic_partition(self):
+        cells = make_spec(margins=tuple(float(m) for m in range(1, 9))).cells
+        keys = [cell_key(cell) for cell in cells]
+        slots = [cell_shard(key, 3) for key in keys]
+        assert slots == [cell_shard(key, 3) for key in keys]  # stable
+        assert all(0 <= slot < 3 for slot in slots)
+
+    def test_shard_cells_partitions_exactly(self):
+        cells = make_spec(margins=tuple(float(m) for m in range(1, 9))).cells
+        for index in range(3):
+            ours, foreign = shard_cells(cells, Shard(index, 3))
+            assert len(ours) + len(foreign) == len(cells)
+        union = [
+            cell for index in range(3) for cell in shard_cells(cells, Shard(index, 3))[0]
+        ]
+        assert sorted(cell_key(c) for c in union) == sorted(cell_key(c) for c in cells)
+
+
+class TestClaims:
+    def test_claim_then_held_then_release(self, tmp_path):
+        mine = policy_for(tmp_path, owner="a")
+        theirs = policy_for(tmp_path, owner="b")
+        assert try_claim(mine, "deadbeef") == "claimed"
+        assert try_claim(mine, "deadbeef") == "claimed"  # own re-claim
+        assert try_claim(theirs, "deadbeef") == "held"
+        assert claim_status(tmp_path, "deadbeef") == "active"
+        release_claim(mine, "deadbeef")
+        assert claim_status(tmp_path, "deadbeef") == "unclaimed"
+        assert try_claim(theirs, "deadbeef") == "claimed"
+
+    def test_expired_claim_is_stolen(self, tmp_path):
+        dead = policy_for(tmp_path, owner="dead", ttl=0.0)
+        assert try_claim(dead, "deadbeef") == "claimed"
+        time.sleep(0.01)
+        assert claim_status(tmp_path, "deadbeef", ttl=0.0) == "expired"
+        thief = policy_for(tmp_path, owner="thief")
+        assert try_claim(thief, "deadbeef") == "stolen"
+        assert read_claim(claim_path(tmp_path, "deadbeef"))["owner"] == "thief"
+
+    def test_same_host_dead_pid_claim_is_stolen_before_ttl(self, tmp_path):
+        import socket
+
+        # A plausibly-unused pid: claims by a dead process on this host
+        # are abandoned immediately, without waiting out the long TTL.
+        dead_owner = f"{socket.gethostname()}-{2**22 - 3}-feedface"
+        ghost = policy_for(tmp_path, owner=dead_owner, ttl=3600.0)
+        assert try_claim(ghost, "deadbeef") == "claimed"
+        assert claim_status(tmp_path, "deadbeef") == "expired"
+        assert try_claim(policy_for(tmp_path, owner="resumer"), "deadbeef") == "stolen"
+
+    def test_same_host_live_pid_claim_is_held(self, tmp_path):
+        import os
+        import socket
+
+        live_owner = f"{socket.gethostname()}-{os.getppid()}-feedface"
+        other = policy_for(tmp_path, owner=live_owner)
+        assert try_claim(other, "deadbeef") == "claimed"
+        assert try_claim(policy_for(tmp_path, owner="me"), "deadbeef") == "held"
+
+    def test_foreign_host_claim_respects_ttl(self, tmp_path):
+        foreign = policy_for(tmp_path, owner="elsewhere-12345-cafebabe")
+        assert try_claim(foreign, "deadbeef") == "claimed"
+        # No pid probe is possible across hosts, so the live TTL governs.
+        assert claim_status(tmp_path, "deadbeef") == "active"
+
+    def test_corrupt_claim_is_stolen(self, tmp_path):
+        path = claim_path(tmp_path, "deadbeef")
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn")
+        assert try_claim(policy_for(tmp_path), "deadbeef") == "stolen"
+
+    def test_release_is_idempotent(self, tmp_path):
+        release_claim(policy_for(tmp_path), "deadbeef")  # nothing to release
+
+    def test_default_owner_unique_per_invocation(self):
+        assert default_owner() != default_owner()
+
+
+class TestShardedSweeps:
+    def test_two_shards_cover_grid_and_merge_row_identical(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path / "store")
+        reports = [
+            run_sweep(
+                spec, cache=store, solve=_stub_solve, shard=Shard(i, 2),
+                claims=policy_for(tmp_path / "store", owner=f"host{i}"),
+            )
+            for i in range(2)
+        ]
+        total_solved = sum(report.solved for report in reports)
+        assert total_solved == len(spec.cells)  # disjoint shards, no duplicates
+        for report in reports:
+            for skip in report.skipped:
+                assert skip.reason == "foreign-shard"
+        # Served entirely from the shared store, the merged table matches
+        # a plain serial solve row for row.
+        warm = run_sweep(spec, cache=store, solve=_stub_solve)
+        assert warm.complete and warm.solved == 0
+        assert warm.cached == len(spec.cells)
+        serial = run_sweep(spec, solve=_stub_solve)
+        assert warm.table().rows == serial.table().rows
+
+    def test_partial_report_refuses_table_and_says_why(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        report = run_sweep(spec, cache=store, solve=_stub_solve, shard=Shard(0, 2))
+        if report.complete:  # every cell hashed into shard 0
+            pytest.skip("grid happened to hash entirely into one shard")
+        assert not report.complete
+        with pytest.raises(ExperimentError, match="partial"):
+            report.table()
+        assert "skipped" in report.summary()
+
+    def test_resumed_shard_resolves_nothing(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        shard = Shard(0, 2)
+        first = run_sweep(spec, cache=store, solve=_stub_solve, shard=shard)
+        resumed = run_sweep(spec, cache=store, solve=_stub_solve, shard=shard)
+        assert resumed.solved == 0
+        assert resumed.cached == first.solved + first.cached
+        counts = resumed.lifecycle_counts()
+        assert counts.get("solved", 0) == 0
+
+    def test_sharding_requires_store(self):
+        with pytest.raises(ValueError, match="store"):
+            run_sweep(make_spec(), solve=_stub_solve, shard=Shard(0, 2))
+
+    def test_steal_requires_claims(self, tmp_path):
+        with pytest.raises(ValueError, match="claim"):
+            run_sweep(
+                make_spec(), cache=DirStore(tmp_path), solve=_stub_solve, steal=True
+            )
+
+    def test_steal_resolves_foreign_cells(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        shard = Shard(0, 2)
+        foreign = [
+            cell for cell in spec.cells if cell_shard(cell_key(cell), 2) != 0
+        ]
+        report = run_sweep(
+            spec, cache=store, solve=_stub_solve, shard=shard,
+            claims=policy_for(tmp_path), steal=True,
+        )
+        assert report.complete
+        assert report.stolen == len(foreign)
+        assert report.table().rows == run_sweep(spec, solve=_stub_solve).table().rows
+
+    def test_live_foreign_claim_defers_cell(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        held = spec.cells[0]
+        other = policy_for(tmp_path, owner="other-host")
+        assert try_claim(other, cell_key(held)) == "claimed"
+        report = run_sweep(
+            spec, cache=store, solve=_stub_solve, claims=policy_for(tmp_path, owner="me"),
+        )
+        assert [skip.key for skip in report.skipped] == [cell_key(held)]
+        assert report.skipped[0].reason == "claimed-elsewhere"
+        # The foreign claim survives; we never solved or released it.
+        assert read_claim(claim_path(tmp_path, cell_key(held)))["owner"] == "other-host"
+        assert not store.contains(held)
+
+    def test_deferred_cell_served_once_owner_stores_it(self, tmp_path):
+        spec = make_spec(margins=(1.0, 2.0))
+        store = DirStore(tmp_path)
+        held = spec.cells[0]
+        other = policy_for(tmp_path, owner="other-host")
+        assert try_claim(other, cell_key(held)) == "claimed"
+
+        def solve_and_finish_elsewhere(cell):
+            # While we solve our own cell, the claim owner finishes the
+            # held one: the end-of-run re-probe must pick it up as a hit.
+            store.put(held, _stub_solve(held))
+            return _stub_solve(cell)
+
+        report = run_sweep(
+            spec, cache=store, solve=solve_and_finish_elsewhere,
+            claims=policy_for(tmp_path, owner="me"),
+        )
+        assert report.complete
+        assert report.solved == 1 and report.cached == 1
+        assert report.results[0].cached  # the held cell, served not solved
+
+    def test_expired_claim_marks_result_stolen(self, tmp_path):
+        spec = make_spec(margins=(1.0,))
+        store = DirStore(tmp_path)
+        dead = policy_for(tmp_path, owner="dead-host", ttl=0.0)
+        assert try_claim(dead, cell_key(spec.cells[0])) == "claimed"
+        time.sleep(0.01)
+        report = run_sweep(
+            spec, cache=store, solve=_stub_solve, claims=policy_for(tmp_path, owner="me"),
+        )
+        assert report.solved == 1 and report.stolen == 1
+        assert report.results[0].status == "stolen"
+        assert report.lifecycle_counts().get("stolen") == 1
+
+
+class TestManifest:
+    def test_build_write_load_roundtrip(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        shard = Shard(0, 2)
+        policy = policy_for(tmp_path, owner="me")
+        report = run_sweep(spec, cache=store, solve=_stub_solve, shard=shard, claims=policy)
+        manifest = build_manifest(spec, report, store, shard=shard, policy=policy)
+        path = write_manifest(manifest, tmp_path)
+        loaded = load_manifest(tmp_path)
+        assert path.name == "campaign.json"
+        assert loaded["schema"] == "repro-campaign-v1"
+        assert loaded["experiment"] == "test"
+        assert loaded["spec_fingerprint"] == spec_fingerprint(spec)
+        assert loaded["shard"] == {"index": 0, "count": 2}
+        assert loaded["cells_total"] == len(spec.cells)
+        assert loaded["owner"] == "me"
+        shard_map = loaded["shard_map"]
+        assert sum(entry["cells"] for entry in shard_map.values()) == len(spec.cells)
+        # Only this shard has run, so exactly its cells are completed.
+        assert loaded["completed_cells"] == shard_map["0"]["cells"]
+        assert loaded["counters"]["solved"] == report.solved
+
+    def test_resume_criterion_readable_from_manifest(self, tmp_path):
+        spec = make_spec()
+        store = DirStore(tmp_path)
+        shard = Shard(0, 2)
+        run_sweep(spec, cache=store, solve=_stub_solve, shard=shard)
+        resumed = run_sweep(spec, cache=store, solve=_stub_solve, shard=shard)
+        manifest = build_manifest(spec, resumed, store, shard=shard)
+        assert manifest["counters"]["solved"] == 0
+        assert manifest["counters"]["cache_hits"] == manifest["shard_cells"]
+
+    def test_load_manifest_rejects_garbage(self, tmp_path):
+        with pytest.raises(CampaignError):
+            load_manifest(tmp_path)  # absent
+        (tmp_path / "campaign.json").write_text(json.dumps({"schema": "other"}))
+        with pytest.raises(CampaignError):
+            load_manifest(tmp_path)

@@ -78,9 +78,24 @@ class TestSweepParsing:
         )
         assert args.experiment == "table1"
         assert args.jobs == 4
-        assert args.cache_dir == "/tmp/c"
+        assert args.cache_dir == ["/tmp/c"]
         assert args.out == "/tmp/o"
         assert not args.no_cache and not args.full
+        assert args.shard is None and not args.steal
+
+    def test_cache_dir_repeats_into_layers(self):
+        args = build_parser().parse_args(
+            ["sweep", "table1", "--cache-dir", "/fast/local", "--cache-dir", "/shared"]
+        )
+        assert args.cache_dir == ["/fast/local", "/shared"]
+
+    def test_shard_and_steal_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig9", "--shard", "1/4", "--steal", "--claim-ttl", "120"]
+        )
+        assert args.shard == "1/4"
+        assert args.steal
+        assert args.claim_ttl == 120.0
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep", "fig6"])

@@ -25,6 +25,7 @@ REQUIRED_IGNORES = {
     ".benchmarks/",       # pytest-benchmark's storage
     ".hypothesis/",       # hypothesis' example database
     ".sweep-cache/",      # CI sweep smoke cache
+    ".campaign/",         # conventional in-repo campaign store (docs/campaigns.md)
     "BENCH_*.json",       # repro bench results (committed only as CI artifacts)
     "sweep-artifacts/",   # repro sweep --out (CI smoke)
     "bench-artifacts/",   # repro bench --out (CI smoke)

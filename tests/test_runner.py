@@ -582,7 +582,7 @@ class TestChunking:
 class TestArtifacts:
     def test_write_artifacts(self, tmp_path):
         report = run_sweep(make_spec(), solve=_stub_solve)
-        table_path, cells_path = write_artifacts(report, tmp_path / "out")
+        table_path, cells_path, events_path = write_artifacts(report, tmp_path / "out")
         table = json.loads(table_path.read_text())
         assert table["experiment"] == "test"
         assert table["rows"] == [list(row) for row in report.table().rows]
@@ -591,6 +591,11 @@ class TestArtifacts:
         assert len(cells) == 3
         assert cells[0]["key"] == report.results[0].key
         assert not cells[0]["cached"]
+        assert cells[0]["status"] == "solved"
+        events = json.loads(events_path.read_text())
+        assert events["complete"] and events["shard"] is None
+        assert events["lifecycle"] == {"solved": 3}
+        assert [e["event"] for e in events["events"]] == ["solved"] * 3
 
 
 @pytest.mark.slow
