@@ -27,13 +27,14 @@ from typing import Callable
 from repro.bench.registry import Benchmark, get_benchmark
 from repro.config import ExperimentConfig
 from repro.runner.executor import SweepCell, SweepReport, run_sweep, solve_cell
+from repro.runner.faults import FailurePolicy
 from repro.runner.spec import CACHE_VERSION, spec_fingerprint  # noqa: F401  (re-export)
 from repro.runner.store import CellStore
 from repro.utils.jsonio import write_json_atomic
 
 #: Payload format tag; bump when the BENCH_*.json shape changes.
 #: (The optional "profile" key added by ``--profile`` and the additive
-#: "lifecycle"/"events" keys do not constitute a shape change.)
+#: "lifecycle"/"events"/"failures" keys do not constitute a shape change.)
 BENCH_SCHEMA = "repro-bench-v1"
 
 #: How many cumulative-time entries ``--profile`` embeds in the payload.
@@ -103,6 +104,11 @@ class BenchResult:
             "jobs": report.jobs,
             "wall_clock_seconds": round(report.elapsed, 6),
             "cache": {"hits": report.cached, "misses": report.solved},
+            "failures": {
+                "quarantined": report.quarantined,
+                "retried": report.lifecycle_counts().get("retried", 0),
+                "timed_out": report.lifecycle_counts().get("timed-out", 0),
+            },
             "lifecycle": report.lifecycle_counts(),
             "events": [event.as_payload() for event in report.events],
             "phase_totals": {
@@ -151,6 +157,7 @@ def run_benchmark(
     cache: CellStore | None = None,
     solve: Callable[[SweepCell], dict[str, float]] = solve_cell,
     profile: bool = False,
+    failures: FailurePolicy | None = None,
 ) -> BenchResult:
     """Execute one benchmark and return its timed result.
 
@@ -167,6 +174,10 @@ def run_benchmark(
             :data:`PROFILE_TOP` cumulative functions to the payload, so
             the next hot spot is visible without ad-hoc scripts.  With
             ``jobs > 1`` only the coordinating process is profiled.
+        failures: the sweep's retry/timeout/quarantine policy
+            (:class:`~repro.runner.faults.FailurePolicy`); retries
+            inflate the benchmarked wall-clock, so the payload's
+            "failures" block records whether any occurred.
     """
     if isinstance(benchmark, str):
         benchmark = get_benchmark(benchmark)
@@ -176,12 +187,17 @@ def run_benchmark(
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            report = run_sweep(benchmark.spec(config), jobs=jobs, cache=cache, solve=solve)
+            report = run_sweep(
+                benchmark.spec(config), jobs=jobs, cache=cache, solve=solve,
+                failures=failures,
+            )
         finally:
             profiler.disable()
         records = _profile_records(profiler, PROFILE_TOP)
     else:
-        report = run_sweep(benchmark.spec(config), jobs=jobs, cache=cache, solve=solve)
+        report = run_sweep(
+            benchmark.spec(config), jobs=jobs, cache=cache, solve=solve, failures=failures
+        )
     return BenchResult(benchmark=benchmark, report=report, full=config.full, profile=records)
 
 

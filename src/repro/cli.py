@@ -48,6 +48,12 @@ from repro.runner.campaign import (
     write_manifest,
 )
 from repro.runner.executor import run_sweep
+from repro.runner.faults import (
+    DEFAULT_MAX_ATTEMPTS,
+    FAULTS_ENV,
+    FailurePolicy,
+    parse_faults,
+)
 from repro.runner.store import (
     CellStore,
     DirStore,
@@ -122,13 +128,43 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _failure_policy(args: argparse.Namespace) -> FailurePolicy:
+    """The retry/timeout/quarantine policy a CLI invocation selected."""
+    return FailurePolicy(
+        max_attempts=args.max_attempts,
+        max_failures=args.max_failures,
+        keep_going=args.keep_going,
+        cell_timeout=args.cell_timeout,
+    )
+
+
+def _apply_faults(args: argparse.Namespace) -> None:
+    """Resolve --inject-fault into the environment the fault layer reads.
+
+    Flag specs are appended to any pre-existing ``$REPRO_FAULTS`` (so a
+    CI job can set a base plan and a step can add to it), validated up
+    front so a bad grammar fails before any cell solves, and exported so
+    sweep worker processes inherit the plan.
+    """
+    injected = getattr(args, "inject_fault", None)
+    if not injected:
+        return
+    parts = [os.environ.get(FAULTS_ENV, "")] + list(injected)
+    plan = ";".join(part for part in parts if part)
+    parse_faults(plan)  # fail fast on a bad spec
+    os.environ[FAULTS_ENV] = plan
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
     experiment = EXPERIMENTS[args.experiment]
     started = time.time()
     if experiment.grid is not None:
         report = run_sweep(
-            experiment.grid(config), jobs=args.jobs, cache=_cache_from(args, default_on=False)
+            experiment.grid(config),
+            jobs=args.jobs,
+            cache=_cache_from(args, default_on=False),
+            failures=_failure_policy(args),
         )
         table = report.table()
         summary = f" [{report.summary()}]"
@@ -170,13 +206,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         claims = ClaimPolicy(
             root=_store_root(cache), owner=default_owner(), ttl=args.claim_ttl
         )
-    report = run_sweep(
-        spec, jobs=args.jobs, cache=cache, shard=shard, claims=claims, steal=args.steal
-    )
+    try:
+        report = run_sweep(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            shard=shard,
+            claims=claims,
+            steal=args.steal,
+            failures=_failure_policy(args),
+        )
+    except BaseException as error:
+        # An aborted sweep still resolved cells and logged lifecycle
+        # events; flush them so the failure is triageable from artifacts.
+        partial = getattr(error, "partial_report", None)
+        if partial is not None and args.out:
+            for path in write_artifacts(partial, args.out):
+                print(f"partial artifact written to {path}", file=sys.stderr)
+        raise
     table = None
-    if report.complete:
+    if report.table_ready:
         table = report.table()
         print(format_markdown(table))
+        if report.quarantined:
+            print(
+                f"warning: {report.quarantined} cell(s) quarantined after repeated "
+                "failures; their rows are omitted (triage: `repro cache failures`)",
+                file=sys.stderr,
+            )
     else:
         print(
             f"partial sweep ({len(report.skipped)} of {len(spec.cells)} cells left "
@@ -196,7 +253,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _write_csv(table, args.csv)
     elif args.csv:
         print("note: --csv skipped for a partial sweep", file=sys.stderr)
-    return 0
+    # Exit 3 = "ran to completion, but some cells are quarantined": distinct
+    # from 0 (clean, possibly shard-partial) and 1 (hard error) so CI and
+    # campaign drivers can branch on it.
+    return 3 if report.quarantined else 0
 
 
 def _cache_targets(paths: list[str]) -> list[DirStore]:
@@ -236,6 +296,24 @@ def _cmd_cache_merge(args: argparse.Namespace) -> int:
     # Conflicts mean two stores hold different results for the same
     # content key -- determinism is broken somewhere; surface it loudly.
     return 1 if stats.conflicting else 0
+
+
+def _cmd_cache_failures(args: argparse.Namespace) -> int:
+    """List (or clear) the persisted failure records of each store."""
+    for store in _cache_targets(args.stores):
+        if args.clear:
+            cleared = store.clear_failures()
+            print(f"{store.describe()}: cleared {cleared} failure record(s)")
+            continue
+        records = sorted(store.failure_records(), key=lambda item: item[0])
+        print(f"{store.describe()}: {len(records)} failure record(s)")
+        for key, payload in records:
+            print(
+                f"  {key}  {payload.get('error_class', '?'):<13} "
+                f"attempts={payload.get('attempts', '?')}  "
+                f"{payload.get('error_type', '?')}: {payload.get('message', '')}"
+            )
+    return 0
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
@@ -288,7 +366,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     payloads = []
     for name in _resolve_benchmark_names(args.benchmarks):
-        result = run_benchmark(name, config, jobs=args.jobs, cache=cache, profile=args.profile)
+        result = run_benchmark(
+            name,
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            profile=args.profile,
+            failures=_failure_policy(args),
+        )
         path = write_bench_result(result, args.out)
         print(f"{result.summary()} -> {path}")
         if result.profile:
@@ -353,6 +438,16 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _non_negative_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
 def _non_negative_float(value: str) -> float:
     try:
         parsed = float(value)
@@ -383,6 +478,32 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         "--lp-backend", metavar="NAME",
         help="LP solver backend (default: $REPRO_LP_BACKEND or 'highs'; "
         "see `repro backends` and docs/lp_backends.md)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=_non_negative_float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell, enforced by a watchdog in parallel "
+        "runs (default: the cell kind's own budget; 0 disables)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=_positive_int, default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+        help="attempts per cell before quarantining it (transient errors "
+        f"retry with backoff; default: {DEFAULT_MAX_ATTEMPTS})",
+    )
+    parser.add_argument(
+        "--max-failures", type=_non_negative_int, default=0, metavar="N",
+        help="tolerate up to N quarantined cells before aborting the sweep "
+        "(default: 0 -- the first quarantine aborts)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="never abort on quarantined cells: skip their rows, persist "
+        "their failure records, and exit 3 if any (docs/campaigns.md)",
+    )
+    parser.add_argument(
+        "--inject-fault", metavar="SPEC", action="append",
+        help="deterministic fault injection for testing the failure domain, "
+        "e.g. 'site=solve,action=raise,exc=OSError,times=1' (repeatable; "
+        f"appended to ${FAULTS_ENV}; see docs/campaigns.md)",
     )
 
 
@@ -483,6 +604,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="store roots (default: the default cache directory)",
     )
     verify.set_defaults(func=_cmd_cache_verify)
+    failures = cache_sub.add_parser(
+        "failures",
+        help="list quarantined cells' persisted failure records (--clear re-arms them)",
+    )
+    failures.add_argument(
+        "stores", nargs="*", metavar="DIR",
+        help="store roots (default: the default cache directory)",
+    )
+    failures.add_argument(
+        "--clear", action="store_true",
+        help="delete every failure record so the cells are re-attempted",
+    )
+    failures.set_defaults(func=_cmd_cache_failures)
 
     bench = sub.add_parser(
         "bench",
@@ -535,6 +669,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         _apply_lp_backend(args)
+        _apply_faults(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -202,5 +202,7 @@ def solve_margin_cell(cell: SweepCell) -> dict[str, float]:
 
 
 MARGIN_KIND = register_cell_kind(
-    CellKind(name="margin", solve=solve_margin_cell, columns=SCHEME_COLUMNS)
+    # One margin cell = one full robust optimization (cutting-plane loop
+    # over LP oracles); full-config solves run minutes, never hours.
+    CellKind(name="margin", solve=solve_margin_cell, columns=SCHEME_COLUMNS, timeout=3600.0)
 )

@@ -91,7 +91,9 @@ def solve_fig10_cell(cell: SweepCell) -> dict[str, float]:
 
 
 FIG10_KIND = register_cell_kind(
-    CellKind(name="fig10-nh-approx", solve=solve_fig10_cell, columns=_fig10_columns)
+    CellKind(
+        name="fig10-nh-approx", solve=solve_fig10_cell, columns=_fig10_columns, timeout=3600.0
+    )
 )
 
 

@@ -72,7 +72,9 @@ def solve_fig9_cell(cell: SweepCell) -> dict[str, float]:
 
 
 FIG9_KIND = register_cell_kind(
-    CellKind(name="fig9-local-search", solve=solve_fig9_cell, columns=FIG9_COLUMNS)
+    CellKind(
+        name="fig9-local-search", solve=solve_fig9_cell, columns=FIG9_COLUMNS, timeout=3600.0
+    )
 )
 
 

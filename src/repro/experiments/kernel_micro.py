@@ -93,7 +93,9 @@ def solve_kernel_micro_cell(cell: SweepCell) -> dict[str, float]:
 
 
 KERNEL_MICRO_KIND = register_cell_kind(
-    CellKind(name="kernel-micro", solve=solve_kernel_micro_cell, columns=MICRO_COLUMNS)
+    CellKind(
+        name="kernel-micro", solve=solve_kernel_micro_cell, columns=MICRO_COLUMNS, timeout=900.0
+    )
 )
 
 

@@ -115,7 +115,9 @@ def solve_lp_micro_cell(cell: SweepCell) -> dict[str, float]:
 
 
 LP_MICRO_KIND = register_cell_kind(
-    CellKind(name="lp-micro", solve=solve_lp_micro_cell, columns=MICRO_COLUMNS)
+    CellKind(
+        name="lp-micro", solve=solve_lp_micro_cell, columns=MICRO_COLUMNS, timeout=900.0
+    )
 )
 
 

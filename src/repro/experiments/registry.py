@@ -168,6 +168,8 @@ DRIVER_KIND = register_cell_kind(
         name="driver-table",
         solve=solve_driver_cell,
         columns=lambda params: tuple(params["select"]),
+        # A driver cell runs a whole experiment table in one unit.
+        timeout=7200.0,
     )
 )
 

@@ -5,9 +5,11 @@ three files per experiment:
 
 * ``<experiment>.table.json`` — the assembled table (title, columns,
   rows, notes) plus run counters; enough to re-render or diff a sweep
-  without re-solving anything.  Partial (sharded / claim-deferred) runs
-  cannot assemble a faithful table, so this file is skipped for them —
-  merge the campaign stores and re-run to produce it.
+  without re-solving anything.  Partial (sharded / claim-deferred /
+  aborted) runs cannot assemble a faithful table, so this file is
+  skipped for them — merge the campaign stores and re-run to produce
+  it.  ``--keep-going`` runs whose only skips are quarantined cells do
+  emit the table, with the failed rows omitted under an explicit note.
 * ``<experiment>.cells.json`` — one record per resolved cell with its
   full cache fingerprint, content key, result values, and lifecycle
   status (cache-hit / solved / stolen); the raw material for cross-run
@@ -35,14 +37,17 @@ from repro.utils.jsonio import write_json_atomic
 def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
     """Write the sweep's JSON artifacts; returns the paths written.
 
-    Complete runs produce ``[table, cells, events]``; partial runs omit
-    the table (a partial table would silently diff as "rows vanished").
+    Table-ready runs produce ``[table, cells, events]``; sharded /
+    deferred / aborted partials omit the table (a partial table would
+    silently diff as "rows vanished").  A ``--keep-going`` run whose
+    only skips are quarantined cells is table-ready: its table carries
+    an explicit omission note instead of silently-missing rows.
     """
     out = Path(out_dir).expanduser()
     out.mkdir(parents=True, exist_ok=True)
     paths: list[Path] = []
 
-    if report.complete:
+    if report.table_ready:
         table = report.table()
         table_payload = {
             "experiment": report.spec.experiment,
@@ -54,6 +59,7 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
             "cached": report.cached,
             "stolen": report.stolen,
             "jobs": report.jobs,
+            "quarantined": report.quarantined,
             "elapsed_seconds": round(report.elapsed, 3),
         }
         paths.append(
@@ -79,9 +85,11 @@ def write_artifacts(report: SweepReport, out_dir: str | Path) -> list[Path]:
         "experiment": report.spec.experiment,
         "shard": str(report.shard) if report.shard is not None else None,
         "complete": report.complete,
+        "aborted": report.aborted,
         "lifecycle": report.lifecycle_counts(),
         "skipped": [
-            {"key": skip.key, "reason": skip.reason} for skip in report.skipped
+            {"key": skip.key, "reason": skip.reason, "detail": skip.detail}
+            for skip in report.skipped
         ],
         "events": [event.as_payload() for event in report.events],
     }

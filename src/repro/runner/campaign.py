@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import ReproError
+from repro.runner import faults
 from repro.runner.spec import CACHE_VERSION, SweepCell, SweepSpec, cell_key, spec_fingerprint
 from repro.utils.jsonio import write_json_atomic
 
@@ -215,6 +216,7 @@ def try_claim(policy: ClaimPolicy, key: str) -> str:
     * ``"held"`` — another owner holds a live claim; skip the cell and
       let them finish (resume picks it up from the store).
     """
+    faults.trigger("claim", key)
     path = claim_path(policy.root, key)
     payload = {
         "key": key,
@@ -299,6 +301,7 @@ def build_manifest(
     skipped_reasons: dict[str, int] = {}
     for skip in report.skipped:
         skipped_reasons[skip.reason] = skipped_reasons.get(skip.reason, 0) + 1
+    lifecycle = report.lifecycle_counts()
     manifest = {
         "schema": MANIFEST_SCHEMA,
         "experiment": spec.experiment,
@@ -319,7 +322,16 @@ def build_manifest(
             "stolen": report.stolen,
             "skipped": skipped_reasons,
         },
-        "lifecycle": report.lifecycle_counts(),
+        # Additive failure-domain block (schema unchanged): how this
+        # run's cells failed, plus the store-wide failure-record count a
+        # resumed run will be gated by (see repro cache failures).
+        "failures": {
+            "quarantined": skipped_reasons.get("failed", 0),
+            "retried": lifecycle.get("retried", 0),
+            "timed_out": lifecycle.get("timed-out", 0),
+            "records": sum(1 for _ in store.failure_records()),
+        },
+        "lifecycle": lifecycle,
         "jobs": report.jobs,
         "elapsed_seconds": round(report.elapsed, 3),
         "updated_at": time.time(),

@@ -54,11 +54,20 @@ class CellKind:
         columns: the result columns one cell produces — a static tuple,
             or a callable of the cell's ``params`` dict for kinds whose
             column set depends on a parameter (e.g. Fig. 10's budgets).
+        timeout: default per-cell wall-clock budget in seconds, enforced
+            by the parallel executor's watchdog (a stuck solve is killed,
+            retried, and eventually quarantined — see
+            :mod:`repro.runner.faults`); ``None`` disables the watchdog
+            for this kind.  Overridable per run via ``--cell-timeout``.
+            Deliberately *not* part of the fingerprint: a budget bounds
+            when a solve is abandoned, never what it computes, so cached
+            results stay valid across timeout changes.
     """
 
     name: str
     solve: Callable[["SweepCell"], dict[str, float]]
     columns: tuple[str, ...] | Callable[[dict[str, Any]], Sequence[str]]
+    timeout: float | None = None
 
     def cell_columns(self, params: Mapping[str, Any]) -> tuple[str, ...]:
         """The result columns for one cell with the given params."""

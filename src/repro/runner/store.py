@@ -39,6 +39,17 @@ Rejected entries are never served, and — unlike the historical silent
 miss — each drop is logged as a structured warning (key + reason) on
 the ``repro.runner.store`` logger, so corruption in a shared store is
 diagnosable instead of quietly re-solved around.
+
+Alongside results, stores persist **failure records**
+(``<root>/<key[:2]>/<key>.failed.json``, schema
+:data:`~repro.runner.faults.FAILURE_SCHEMA`): when the executor
+quarantines a poison cell it writes the cumulative attempt count, error
+class/type, worker traceback, and host, and a *resumed* run consults
+the record instead of blindly re-attempting the same cell (see
+:mod:`repro.runner.faults`).  A later successful solve clears the
+record; ``repro cache failures [--clear]`` lists and re-arms them.
+Failure records are never entries — :func:`_is_entry` excludes them by
+stem shape — so result iteration, merge, and verify are unaffected.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.runner import faults
 from repro.runner.spec import SweepCell, cell_key, fingerprint_key
 from repro.utils.jsonio import write_json_atomic
 
@@ -58,6 +70,9 @@ logger = logging.getLogger(__name__)
 
 #: Environment override for the default store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Filename suffix of persisted failure records (vs ``.json`` entries).
+FAILURE_SUFFIX = ".failed.json"
 
 
 def default_cache_dir() -> Path:
@@ -104,6 +119,28 @@ class CellStore(ABC):
     @abstractmethod
     def describe(self) -> str:
         """Human-readable identity for logs and CLI output."""
+
+    # Failure records are optional store behavior: the no-op defaults
+    # keep third-party CellStore implementations working unchanged (a
+    # store that never remembers failures simply re-attempts them).
+
+    def get_failure(self, cell: SweepCell) -> dict | None:
+        """The persisted failure record for ``cell``, or None."""
+        return None
+
+    def put_failure(self, cell: SweepCell, record: dict) -> None:
+        """Persist ``record`` as the failure record for ``cell``."""
+
+    def clear_failure(self, cell: SweepCell) -> None:
+        """Drop ``cell``'s failure record, if any (idempotent)."""
+
+    def failure_records(self) -> Iterator[tuple[str, dict]]:
+        """Every ``(key, record)`` failure pair present in the store."""
+        return iter(())
+
+    def clear_failures(self) -> int:
+        """Drop every failure record; returns how many were removed."""
+        return 0
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entry_keys())
@@ -159,6 +196,7 @@ class DirStore(CellStore):
         with its key and reason so shared-store corruption is visible.
         """
         key = cell_key(cell)
+        faults.trigger("store.get", key)
         path = self.path_for_key(key)
         try:
             with open(path) as handle:
@@ -190,16 +228,82 @@ class DirStore(CellStore):
             return None
 
     def put(self, cell: SweepCell, result: dict[str, float]) -> Path:
+        key = cell_key(cell)
+        faults.trigger("store.put", key)
         payload = {
-            "key": cell_key(cell),
+            "key": key,
             "experiment": cell.experiment,
             "fingerprint": cell.fingerprint(),
             "result": result,
         }
-        return write_json_atomic(self.path_for(cell), payload, sort_keys=True)
+        return write_json_atomic(self.path_for_key(key), payload, sort_keys=True)
 
     def contains(self, cell: SweepCell) -> bool:
         return self.path_for(cell).is_file()
+
+    def failure_path_for_key(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{FAILURE_SUFFIX}"
+
+    def get_failure(self, cell: SweepCell) -> dict | None:
+        """The failure record for ``cell``, or None.
+
+        An unreadable record is reported (like a dropped entry) and
+        treated as absent — the worst case is one extra attempt at a
+        cell whose record was torn, which quarantine re-bounds.
+        """
+        key = cell_key(cell)
+        path = self.failure_path_for_key(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            self._drop(key, f"unreadable failure record: {error}")
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put_failure(self, cell: SweepCell, record: dict) -> None:
+        write_json_atomic(self.failure_path_for_key(cell_key(cell)), record, sort_keys=True)
+
+    def clear_failure(self, cell: SweepCell) -> None:
+        try:
+            self.failure_path_for_key(cell_key(cell)).unlink()
+        except OSError:
+            pass
+
+    def failure_paths(self) -> Iterator[Path]:
+        """Every well-placed ``<xx>/<key>.failed.json`` leaf."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob(f"*/*{FAILURE_SUFFIX}")):
+            key = path.name[: -len(FAILURE_SUFFIX)]
+            if (
+                len(key) == 32
+                and all(ch in "0123456789abcdef" for ch in key)
+                and path.parent.name == key[:2]
+            ):
+                yield path
+
+    def failure_records(self) -> Iterator[tuple[str, dict]]:
+        for path in self.failure_paths():
+            key = path.name[: -len(FAILURE_SUFFIX)]
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                self._drop(key, f"unreadable failure record: {error}")
+                continue
+            if isinstance(payload, dict):
+                yield key, payload
+
+    def clear_failures(self) -> int:
+        cleared = 0
+        for path in list(self.failure_paths()):
+            try:
+                path.unlink()
+                cleared += 1
+            except OSError:
+                pass
+        return cleared
 
     def entry_paths(self) -> Iterator[Path]:
         """Every ``<xx>/<key>.json`` entry leaf (non-entry JSON excluded)."""
@@ -266,6 +370,34 @@ class OverlayStore(CellStore):
                     seen.add(key)
                     yield key
 
+    def get_failure(self, cell: SweepCell) -> dict | None:
+        for store in self.stores:
+            record = store.get_failure(cell)
+            if record is not None:
+                return record
+        return None
+
+    def put_failure(self, cell: SweepCell, record: dict) -> None:
+        for store in self.stores:
+            store.put_failure(cell, record)
+
+    def clear_failure(self, cell: SweepCell) -> None:
+        # Cleared in *every* layer: a record surviving in the shared
+        # layer would re-quarantine a cell the local layer knows solved.
+        for store in self.stores:
+            store.clear_failure(cell)
+
+    def failure_records(self) -> Iterator[tuple[str, dict]]:
+        seen: set[str] = set()
+        for store in self.stores:
+            for key, record in store.failure_records():
+                if key not in seen:
+                    seen.add(key)
+                    yield key, record
+
+    def clear_failures(self) -> int:
+        return sum(store.clear_failures() for store in self.stores)
+
 
 def open_store(roots: Sequence[str | Path]) -> CellStore:
     """A store over ``roots``: one DirStore, or an overlay of several."""
@@ -283,13 +415,21 @@ class MergeStats:
     present: int = 0
     conflicting: int = 0
     invalid: int = 0
+    failures_copied: int = 0
+    failures_superseded: int = 0
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.copied} copied, {self.present} already present, "
             f"{self.conflicting} conflicting (kept destination), "
             f"{self.invalid} invalid (skipped)"
         )
+        if self.failures_copied or self.failures_superseded:
+            base += (
+                f"; failure records: {self.failures_copied} copied, "
+                f"{self.failures_superseded} superseded by results"
+            )
+        return base
 
 
 def _entry_problem(key: str, payload: object) -> str | None:
@@ -371,6 +511,20 @@ def merge_stores(sources: Sequence[DirStore], dest: DirStore) -> MergeStats:
                 continue
             write_json_atomic(dest_path, payload, sort_keys=True)
             stats.copied += 1
+    # Failure records merge after results on purpose: a result stored by
+    # *any* source supersedes another shard's failure record for the
+    # same key (e.g. a steal succeeded where the owner's worker died),
+    # so quarantine never outlives a successful solve.
+    for source in sources:
+        for key, record in source.failure_records():
+            if dest.path_for_key(key).is_file():
+                stats.failures_superseded += 1
+                continue
+            dest_path = dest.failure_path_for_key(key)
+            if dest_path.is_file():
+                continue  # first record wins, matching entry semantics
+            write_json_atomic(dest_path, record, sort_keys=True)
+            stats.failures_copied += 1
     return stats
 
 
@@ -434,4 +588,5 @@ def store_stats(store: DirStore) -> dict:
         "by_kind": by_kind,
         "by_version": by_version,
         "unreadable": unreadable,
+        "failures": sum(1 for _ in store.failure_records()),
     }

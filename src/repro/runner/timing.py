@@ -45,9 +45,15 @@ T = TypeVar("T")
 #: claim takeover or foreign-shard steal); "solved": result produced and
 #: stored; "deferred": live claim held elsewhere, left for its owner;
 #: "foreign": belongs to another shard and stealing is off; "failed":
-#: the solve raised.
+#: one solve attempt raised; "retried": a failed/crashed/timed-out cell
+#: was re-queued with backoff; "timed-out": the cell (or its chunk)
+#: exceeded its wall-clock budget and the watchdog killed the worker;
+#: "quarantined": attempts are exhausted (or the failure is
+#: deterministic) — a failure record is persisted and the cell becomes
+#: a ``SkippedCell(reason="failed")``.
 LIFECYCLE_EVENTS = (
-    "cache-hit", "claimed", "stolen", "solved", "deferred", "foreign", "failed",
+    "cache-hit", "claimed", "stolen", "solved", "deferred", "foreign",
+    "failed", "retried", "timed-out", "quarantined",
 )
 
 

@@ -215,3 +215,110 @@ class TestFig11CliParity:
         # at the refactor boundary; this guards serial/parallel divergence.
         serial = fig11(tiny)
         assert csv_path.read_text() == format_csv(serial)
+
+
+class TestFaultFlags:
+    def test_failure_flags_parse(self):
+        args = build_parser().parse_args([
+            "sweep", "fig6", "--cell-timeout", "5", "--max-attempts", "2",
+            "--max-failures", "1", "--keep-going",
+            "--inject-fault", "site=solve,action=raise",
+            "--inject-fault", "site=claim,action=raise,exc=OSError",
+        ])
+        assert args.cell_timeout == 5.0 and args.max_attempts == 2
+        assert args.max_failures == 1 and args.keep_going
+        assert len(args.inject_fault) == 2
+
+    def test_bad_inject_fault_fails_fast(self, capsys, monkeypatch):
+        from repro.runner.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "")
+        assert main([
+            "sweep", "fig6", "--no-cache",
+            "--inject-fault", "site=nowhere,action=raise",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "site=" in err
+
+    def test_cache_failures_empty_store(self, capsys, tmp_path):
+        assert main(["cache", "failures", str(tmp_path)]) == 0
+        assert "0 failure record(s)" in capsys.readouterr().out
+
+
+class TestQuarantineCli:
+    """End-to-end: poison cell -> exit 3 -> triage -> clear -> clean rerun."""
+
+    @pytest.fixture
+    def tiny_config(self, monkeypatch):
+        tiny = ExperimentConfig(
+            margins=(1.0, 1.5),
+            solver=SolverConfig(
+                max_adversarial_rounds=2,
+                max_inner_iterations=10,
+                smoothing_temperatures=(8.0, 64.0),
+            ),
+        )
+        monkeypatch.setattr(
+            ExperimentConfig, "from_environment", classmethod(lambda cls: tiny)
+        )
+        return tiny
+
+    def test_keep_going_quarantine_resume_and_clear(
+        self, capsys, tmp_path, monkeypatch, tiny_config
+    ):
+        from repro.experiments.registry import experiment_spec
+        from repro.runner.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "")
+        store = tmp_path / "store"
+        spec = experiment_spec("fig6", tiny_config)
+        poison = cell_key(spec.cells[1])
+
+        assert main([
+            "sweep", "fig6", "--cache-dir", str(store), "--keep-going",
+            "--inject-fault",
+            f"site=solve,action=raise,exc=ValueError,key={poison[:12]}",
+        ]) == 3
+        captured = capsys.readouterr()
+        assert "1 cell(s) quarantined" in captured.err
+        assert "1 failed" in captured.out  # summary line
+
+        assert main(["cache", "failures", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert poison in listing and "deterministic" in listing
+
+        # Resume without the fault: stored cells are hits, the poison
+        # cell's persisted record still quarantines it (no re-solve).
+        monkeypatch.setenv(FAULTS_ENV, "")
+        assert main([
+            "sweep", "fig6", "--cache-dir", str(store), "--keep-going",
+        ]) == 3
+        assert "0 solved" in capsys.readouterr().out
+
+        assert main(["cache", "failures", str(store), "--clear"]) == 0
+        assert "cleared 1 failure record(s)" in capsys.readouterr().out
+        assert main(["sweep", "fig6", "--cache-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 solved, 1 from cache" in out
+
+    def test_abort_still_flushes_partial_artifacts(
+        self, capsys, tmp_path, monkeypatch, tiny_config
+    ):
+        from repro.experiments.registry import experiment_spec
+        from repro.runner.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "")
+        spec = experiment_spec("fig6", tiny_config)
+        poison = cell_key(spec.cells[0])
+        out_dir = tmp_path / "artifacts"
+        with pytest.raises(ValueError, match="injected ValueError"):
+            main([
+                "sweep", "fig6", "--no-cache", "--out", str(out_dir),
+                "--inject-fault",
+                f"site=solve,action=raise,exc=ValueError,key={poison[:12]}",
+            ])
+        assert "partial artifact" in capsys.readouterr().err
+        events = json.loads((out_dir / "fig6.events.json").read_text())
+        assert events["aborted"] is True
+        assert events["lifecycle"]["quarantined"] == 1
+        assert not (out_dir / "fig6.table.json").exists()

@@ -26,6 +26,8 @@ REQUIRED_IGNORES = {
     ".hypothesis/",       # hypothesis' example database
     ".sweep-cache/",      # CI sweep smoke cache
     ".campaign/",         # conventional in-repo campaign store (docs/campaigns.md)
+    ".faults/",           # CI fault-injection smoke stores
+    ".faults-state/",     # fault-injection trigger counters (docs/campaigns.md)
     "BENCH_*.json",       # repro bench results (committed only as CI artifacts)
     "sweep-artifacts/",   # repro sweep --out (CI smoke)
     "bench-artifacts/",   # repro bench --out (CI smoke)
